@@ -1,0 +1,134 @@
+"""Design-choice ablations (DESIGN.md section 4, last row).
+
+The paper's three wide-band techniques are each claimed to be load-
+bearing.  These benches knock each one out of the default input
+interface and measure what it costs:
+
+* active feedback off        -> bandwidth collapses;
+* negative Miller cap off    -> input poles drop, bandwidth falls;
+* offset cancellation off    -> a realistic mismatch saturates the LA;
+* all wideband tricks off    -> the interface no longer does 10 Gb/s.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import EyeDiagram
+from repro.core import build_input_interface
+from repro.reporting import format_table
+from repro.signals import bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+def variants():
+    base = build_input_interface()
+    no_feedback = base.limiting_amplifier.without_feedback()
+    no_miller = base.limiting_amplifier.without_neg_miller()
+    import dataclasses
+
+    return {
+        "full design": base,
+        "no active feedback": dataclasses.replace(
+            base, limiting_amplifier=no_feedback
+        ),
+        "no negative Miller": dataclasses.replace(
+            base, limiting_amplifier=no_miller
+        ),
+        "no feedback + no Miller": dataclasses.replace(
+            base,
+            limiting_amplifier=no_feedback.without_neg_miller(),
+        ),
+    }
+
+
+def test_ablation_bandwidth_table(benchmark, save_report):
+    def run():
+        rows = []
+        for name, rx in variants().items():
+            rows.append({
+                "variant": name,
+                "DC gain (dB)": rx.dc_gain_db(),
+                "BW (GHz)": rx.bandwidth_3db() / 1e9,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_report("ablation_bandwidth", format_table(rows))
+    by_name = {row["variant"]: row for row in rows}
+    full_bw = by_name["full design"]["BW (GHz)"]
+    assert by_name["no active feedback"]["BW (GHz)"] < 0.8 * full_bw
+    assert by_name["no negative Miller"]["BW (GHz)"] < full_bw
+    assert by_name["no feedback + no Miller"]["BW (GHz)"] \
+        < by_name["no active feedback"]["BW (GHz)"]
+    # DC gain is technique-independent (the techniques buy bandwidth).
+    gains = [row["DC gain (dB)"] for row in rows]
+    assert max(gains) - min(gains) < 1.0
+
+
+def test_ablation_eye_at_10gbps(benchmark, save_report):
+    def run():
+        wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.05,
+                           samples_per_bit=16)
+        rows = []
+        for name, rx in variants().items():
+            m = EyeDiagram.measure_waveform(rx.process(wave), BIT_RATE,
+                                            skip_ui=16)
+            rows.append({
+                "variant": name,
+                "eye width (UI)": m.eye_width_ui,
+                "jitter pp (ps)": m.jitter_pp * 1e12,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_report("ablation_eye", format_table(rows))
+    by_name = {row["variant"]: row for row in rows}
+    assert by_name["full design"]["eye width (UI)"] \
+        >= by_name["no feedback + no Miller"]["eye width (UI)"]
+
+
+def test_ablation_offset_cancellation(benchmark, save_report):
+    """Fig 8's motivation: with 5 mV of input mismatch and 35+ dB of
+    gain, the uncancelled offset exceeds the entire output swing; the
+    loop reduces it to a small fraction."""
+    def run():
+        la = build_input_interface().limiting_amplifier.with_offset(5e-3)
+        return (la.uncancelled_output_offset(),
+                la.residual_output_offset(), la.output_swing)
+
+    uncancelled, residual, swing = run_once(benchmark, run)
+    save_report("ablation_offset", format_table([{
+        "input offset (mV)": 5.0,
+        "uncancelled output offset (mV)": uncancelled * 1e3,
+        "with loop (mV)": residual * 1e3,
+        "output swing (mV)": swing * 1e3,
+    }]))
+    assert uncancelled > swing
+    assert residual < 0.05 * swing
+
+
+def test_ablation_duty_cycle_distortion(benchmark, save_report):
+    """Offset-induced DCD at the output, with and without the loop."""
+    from repro.core import duty_cycle_distortion
+
+    def run():
+        la = build_input_interface().limiting_amplifier.with_offset(5e-3)
+        swing = la.output_swing
+        rise = 25e-12
+        with_loop = duty_cycle_distortion(
+            la.residual_output_offset(), swing, rise, BIT_RATE
+        )
+        capped_offset = min(la.uncancelled_output_offset(), 0.9 * swing)
+        without_loop = duty_cycle_distortion(
+            capped_offset, swing, rise, BIT_RATE
+        )
+        return with_loop, without_loop
+
+    with_loop, without_loop = run_once(benchmark, run)
+    save_report("ablation_dcd", format_table([{
+        "DCD with loop (%UI)": with_loop * 100,
+        "DCD without loop (%UI)": without_loop * 100,
+    }]))
+    assert with_loop < 0.1 * without_loop

@@ -1,0 +1,130 @@
+"""Extension benches: RLGC physics consistency, crosstalk budget,
+eye-mask compliance, CTLE response parity.
+
+These go beyond the paper's own figures to the system questions its
+introduction raises (switch fabrics route many lanes over real FR-4):
+is the parametric channel consistent with telegrapher-equation physics,
+how much coupling can a lane tolerate, and does the receiver present a
+compliant eye to the CDR.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import EyeDiagram, EyeMask, check_mask
+from repro.baselines import ctle_matching_equalizer
+from repro.channel import (
+    BackplaneChannel,
+    CrosstalkAggressor,
+    CrosstalkChannel,
+    microstrip_like,
+)
+from repro.core import build_input_interface
+from repro.reporting import format_table
+from repro.signals import bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+def test_rlgc_vs_parametric_consistency(benchmark, save_report):
+    """The empirical skin+dielectric model tracks first-principles RLGC."""
+    def run():
+        line = microstrip_like(length=0.5)
+        params = line.equivalent_parameters()
+        channel = BackplaneChannel(0.5, params=params)
+        freqs = np.array([1e9, 2.5e9, 5e9, 7.5e9, 10e9])
+        return [{
+            "f (GHz)": f / 1e9,
+            "RLGC loss (dB)": float(line.loss_db(np.array([f]))[0]),
+            "parametric fit (dB)": float(channel.loss_db(
+                np.array([f]))[0]),
+        } for f in freqs]
+
+    rows = run_once(benchmark, run)
+    save_report("ext_rlgc_consistency", format_table(rows))
+    for row in rows:
+        assert row["parametric fit (dB)"] == pytest.approx(
+            row["RLGC loss (dB)"], rel=0.3, abs=1.0
+        )
+
+
+def test_crosstalk_budget(benchmark, save_report):
+    """Eye height vs aggressor coupling: the lane-spacing budget."""
+    def run():
+        victim = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.25,
+                             samples_per_bit=16)
+        aggressor = bits_to_nrz(prbs7(260, seed=5), BIT_RATE,
+                                amplitude=0.25, samples_per_bit=16)
+        rows = []
+        for coupling_db in (40.0, 26.0, 18.0, 12.0):
+            channel = CrosstalkChannel(
+                channel=BackplaneChannel(0.3),
+                aggressors=[CrosstalkAggressor(signal=aggressor,
+                                               coupling_db=coupling_db)],
+            )
+            m = EyeDiagram.measure_waveform(channel.process(victim),
+                                            BIT_RATE, skip_ui=16)
+            rows.append({
+                "coupling (dB)": coupling_db,
+                "interference rms (mV)": channel.interference_rms() * 1e3,
+                "eye height (mV)": m.eye_height * 1e3,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_report("ext_crosstalk_budget", format_table(rows))
+    heights = [row["eye height (mV)"] for row in rows]
+    assert heights == sorted(heights, reverse=True)  # more coupling, worse
+
+
+def test_receiver_mask_compliance(benchmark, save_report):
+    """The input interface's output meets a CDR-style eye mask over its
+    whole dynamic range."""
+    def run():
+        rx = build_input_interface()
+        mask = EyeMask(x1=0.3, x2=0.45, y1=0.1, y2=0.6)
+        rows = []
+        for vpp in (0.004, 0.1, 1.8):
+            wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=vpp,
+                               samples_per_bit=16)
+            result = check_mask(rx.process(wave), BIT_RATE, mask,
+                                skip_ui=16)
+            rows.append({
+                "input (Vpp)": vpp,
+                "passes": result.passes,
+                "margin (x)": result.margin,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_report("ext_mask_compliance", format_table(rows))
+    assert all(row["passes"] for row in rows)
+    assert all(row["margin (x)"] > 1.2 for row in rows)
+
+
+def test_ctle_parity(benchmark, save_report):
+    """The Cherry-Hooper equalizer covers the canonical CTLE response
+    family (and adds the gain the plain CTLE gives up)."""
+    def run():
+        rx = build_input_interface(equalizer_control_voltage=0.6)
+        equalizer = rx.equalizer
+        ctle = ctle_matching_equalizer(equalizer)
+        freqs = np.logspace(8, 10, 9)
+        return [{
+            "f (GHz)": float(f) / 1e9,
+            "Cherry-Hooper (dB)": float(equalizer.gain_db(
+                np.array([f]))[0]),
+            "generic CTLE (dB)": float(
+                ctle.transfer_function().magnitude_db(np.array([f]))[0]
+            ),
+        } for f in freqs]
+
+    rows = run_once(benchmark, run)
+    save_report("ext_ctle_parity", format_table(rows))
+    # Boost-region parity within a few dB.
+    mid = [row for row in rows if 2.0 <= row["f (GHz)"] <= 6.0]
+    for row in mid:
+        assert row["Cherry-Hooper (dB)"] == pytest.approx(
+            row["generic CTLE (dB)"], abs=4.0
+        )

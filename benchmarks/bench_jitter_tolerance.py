@@ -1,0 +1,87 @@
+"""Jitter-tolerance of the receive path: the classic SJ template sweep.
+
+A receiver + CDR must track low-frequency sinusoidal jitter (the loop
+follows it) and absorb high-frequency jitter within its eye margin —
+producing the standard jitter-tolerance "template": large tolerable SJ
+amplitude at low frequency, flattening to a fraction of a UI above the
+loop bandwidth.  The paper's LA feeds exactly such a CDR; this bench
+sweeps SJ frequency, bisects the maximum tolerable amplitude at each,
+and asserts the template shape.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.cdr import BangBangCdr, CdrConfig
+from repro.reporting import format_table
+from repro.signals import NrzEncoder, SinusoidalJitter, prbs7
+
+BIT_RATE = 10e9
+N_BITS = 700
+
+
+def error_free_at(sj_amplitude_ui: float, sj_freq: float) -> bool:
+    """Does the CDR recover the pattern under this SJ?"""
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=0.4)
+    bits = prbs7(N_BITS)
+    jitter = SinusoidalJitter(
+        peak_seconds=sj_amplitude_ui / BIT_RATE, frequency=sj_freq
+    )
+    wave = encoder.encode(bits,
+                          edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+    config = CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-4)
+    result = BangBangCdr(config).recover(wave)
+    decisions = result.decisions
+    errors = min(
+        int(np.sum(decisions[lag:lag + 500] != bits[:500]))
+        for lag in range(0, 4)
+    )
+    return errors == 0
+
+
+def tolerance_at(sj_freq: float) -> float:
+    """Largest tolerable SJ amplitude (UI) at one frequency, bisected."""
+    lo, hi = 0.01, 4.0
+    if not error_free_at(lo, sj_freq):
+        return 0.0
+    if error_free_at(hi, sj_freq):
+        return hi
+    for _ in range(8):
+        mid = 0.5 * (lo + hi)
+        if error_free_at(mid, sj_freq):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def test_jitter_tolerance_template(benchmark, save_report):
+    frequencies = (1e6, 10e6, 100e6, 1e9)
+
+    def sweep():
+        return [{"SJ freq (MHz)": f / 1e6,
+                 "tolerance (UI pp)": 2 * tolerance_at(f)}
+                for f in frequencies]
+
+    rows = run_once(benchmark, sweep)
+    save_report("jitter_tolerance", format_table(rows))
+    tolerances = [row["tolerance (UI pp)"] for row in rows]
+    # Template shape: low-frequency jitter is tracked (tolerance well
+    # above 1 UI), high-frequency tolerance falls to the eye margin.
+    assert tolerances[0] > 1.0
+    assert tolerances[0] >= tolerances[-1]
+    assert tolerances[-1] > 0.1  # the eye itself still absorbs some SJ
+
+
+def test_cdr_loop_bandwidth_separates_regimes(benchmark, save_report):
+    """Tolerance at 1 MHz (slow, tracked) vs 1 GHz (fast, untracked)."""
+    def run():
+        return 2 * tolerance_at(1e6), 2 * tolerance_at(1e9)
+
+    slow, fast = run_once(benchmark, run)
+    save_report("jitter_tolerance_regimes", format_table([{
+        "SJ @1 MHz tolerated (UI pp)": slow,
+        "SJ @1 GHz tolerated (UI pp)": fast,
+    }]))
+    assert slow > 2.0 * fast

@@ -1,0 +1,103 @@
+"""Analog voltage peaking vs digital FIR pre-emphasis (paper ref [4]).
+
+The paper positions its voltage-peaking circuit as the analog
+counterpart of Westergaard et al.'s digital pre-emphasis backplane
+driver.  This bench makes the comparison quantitative:
+
+* the analog circuit's equivalent 2-tap FIR reproduces its post-channel
+  eye within tolerance (they are the same filter for settled levels);
+* a 3-tap zero-forcing FIR (what the digital architecture can do and
+  the analog one cannot) buys additional eye height — the flexibility
+  cost of the paper's simpler circuit.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import EyeDiagram
+from repro.baselines import FirPreEmphasis, zero_forcing_taps
+from repro.channel import BackplaneChannel
+from repro.core import build_output_interface
+from repro.reporting import format_table
+from repro.signals import bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+def run_experiment():
+    channel = BackplaneChannel(0.5)
+    wave = bits_to_nrz(prbs7(300), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+
+    results = {}
+
+    # No shaping.
+    plain_tx = build_output_interface(peaking_enabled=False).process(wave)
+    results["no pre-emphasis"] = channel.process(plain_tx)
+
+    # The paper's analog voltage peaking.
+    tx = build_output_interface(peaking_enabled=True)
+    results["analog voltage peaking"] = channel.process(tx.process(wave))
+
+    # Its 2-tap FIR equivalent applied to the same driver output.
+    main, post = tx.peaking.equivalent_fir_taps(
+        tx.driver.output_swing_pp / 2.0
+    )
+    fir2 = FirPreEmphasis(taps=(main, post), bit_rate=BIT_RATE)
+    results["digital 2-tap (equivalent)"] = channel.process(
+        fir2.process(plain_tx)
+    )
+
+    # A provisioned 3-tap zero-forcing FIR (the [4]-style capability).
+    taps3 = zero_forcing_taps(channel, BIT_RATE, n_taps=3)
+    fir3 = FirPreEmphasis(taps=taps3, bit_rate=BIT_RATE)
+    results["digital 3-tap (zero-forcing)"] = channel.process(
+        fir3.process(plain_tx)
+    )
+
+    measurements = {
+        name: EyeDiagram.measure_waveform(out, BIT_RATE, skip_ui=16)
+        for name, out in results.items()
+    }
+    return measurements
+
+
+def test_preemphasis_comparison(benchmark, save_report):
+    measurements = run_once(benchmark, run_experiment)
+    rows = [{
+        "scheme": name,
+        "eye height (mV)": m.eye_height * 1e3,
+        "eye width (UI)": m.eye_width_ui,
+        "jitter pp (ps)": m.jitter_pp * 1e12,
+    } for name, m in measurements.items()]
+    save_report("preemphasis_baseline", format_table(rows))
+
+    plain = measurements["no pre-emphasis"]
+    analog = measurements["analog voltage peaking"]
+    fir2 = measurements["digital 2-tap (equivalent)"]
+    fir3 = measurements["digital 3-tap (zero-forcing)"]
+
+    # Both schemes beat no shaping.
+    assert analog.eye_height > plain.eye_height
+    assert fir2.eye_height > plain.eye_height
+    # The analog circuit tracks its 2-tap equivalent.
+    assert analog.eye_height == pytest.approx(fir2.eye_height, rel=0.35)
+    # Extra taps buy extra opening (the digital architecture's edge).
+    assert fir3.eye_height > analog.eye_height
+
+
+def test_equivalent_taps_mapping(benchmark, save_report):
+    def run():
+        tx = build_output_interface()
+        amplitude = tx.driver.output_swing_pp / 2.0
+        return tx.peaking.equivalent_fir_taps(amplitude), \
+            tx.peaking.preemphasis_db(tx.driver.output_swing_pp)
+
+    (main, post), boost_db = run_once(benchmark, run)
+    save_report("preemphasis_tap_mapping", format_table([{
+        "main tap": main, "post tap": post,
+        "edge boost (dB)": boost_db,
+    }]))
+    assert main == pytest.approx(1.0 - post)
+    assert post < 0
+    assert 1.0 < boost_db < 3.0

@@ -1,0 +1,80 @@
+"""Table I — performance and comparison with published results.
+
+Paper rows: process / supply / power / data rate / bandwidth / DC gain /
+core area, columns: this work, [7] Tao-Berroth, [5] Galal-Razavi.
+
+Reproduced: the "this work" column is measured live from the behavioral
+models and printed next to the paper's column and both published
+records.  Shape assertions: this work wins power and area (the paper's
+stated conclusion), operates at 10 Gb/s, and the measured column tracks
+the paper's within tolerance.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.baselines import (
+    GALAL_RAZAVI_2003,
+    PAPER_THIS_WORK,
+    TAO_BERROTH_2003,
+    measured_this_work,
+    table1_rows,
+)
+from repro.reporting import format_table
+
+
+def test_table1_regeneration(benchmark, save_report):
+    rows = run_once(benchmark, table1_rows)
+    save_report("table1_comparison", format_table(rows))
+
+    measured = measured_this_work()
+    # Paper-vs-measured tracking.
+    assert measured.power_mw == pytest.approx(PAPER_THIS_WORK.power_mw,
+                                              rel=0.10)
+    assert measured.bandwidth_ghz == pytest.approx(
+        PAPER_THIS_WORK.bandwidth_ghz, rel=0.10
+    )
+    assert measured.dc_gain_db == pytest.approx(PAPER_THIS_WORK.dc_gain_db,
+                                                abs=2.5)
+    assert measured.area_mm2 == pytest.approx(PAPER_THIS_WORK.area_mm2,
+                                              rel=0.02)
+
+
+def test_table1_this_work_wins_power_and_area(benchmark, save_report):
+    measured = run_once(benchmark, measured_this_work)
+    lines = []
+    for other in (TAO_BERROTH_2003, GALAL_RAZAVI_2003):
+        lines.append(
+            f"vs {other.label}: power {measured.power_mw:.1f} vs "
+            f"{other.power_mw:.0f} mW, area {measured.area_mm2:.3f} vs "
+            f"{other.area_mm2:.2f} mm^2"
+        )
+        # "our results have better performances in area and power".
+        assert measured.power_mw < other.power_mw
+        assert measured.area_mm2 < other.area_mm2
+    save_report("table1_winners", "\n".join(lines))
+
+
+def test_table1_bandwidth_ordering(benchmark):
+    measured = run_once(benchmark, measured_this_work)
+    # Paper's ordering: this work (9.5) > Galal-Razavi (9.4) >
+    # Tao-Berroth (6.5).  Allow the measured value to land near the
+    # paper's with the ordering against [7] strict.
+    assert measured.bandwidth_ghz > TAO_BERROTH_2003.bandwidth_ghz
+    assert measured.bandwidth_ghz == pytest.approx(
+        GALAL_RAZAVI_2003.bandwidth_ghz, rel=0.12
+    )
+
+
+def test_table1_figure_of_merit(benchmark, save_report):
+    measured = run_once(benchmark, measured_this_work)
+    rows = [
+        {
+            "design": column.label,
+            "GBW/power ((lin)GHz/mW)": column.figure_of_merit(),
+        }
+        for column in (measured, PAPER_THIS_WORK, TAO_BERROTH_2003,
+                       GALAL_RAZAVI_2003)
+    ]
+    save_report("table1_figure_of_merit", format_table(rows))
+    assert measured.figure_of_merit() > TAO_BERROTH_2003.figure_of_merit()

@@ -1,0 +1,38 @@
+"""Shared bench infrastructure.
+
+Every bench regenerates one of the paper's tables or figures: it prints
+the rows/series to stdout AND archives them under
+``benchmarks/output/`` so paper-vs-measured comparisons survive the run.
+Timing is collected with pytest-benchmark (rounds kept small — these
+are simulations, not microbenchmarks).
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_report(report_dir):
+    """Write a named report file and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark a simulation with minimal repetition."""
+    return benchmark.pedantic(fn, rounds=2, iterations=1, warmup_rounds=0)

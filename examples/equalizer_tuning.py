@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Adaptive equalizer tuning against an unknown channel.
+
+The paper's equalizer exposes one analog knob: the NMOS gate voltage V1
+that sets the degeneration resistance (boost + zero frequency).  This
+example implements what a real SerDes adaptation loop does with such a
+knob: sweep it, score the received eye, and lock the best setting — for
+three different channel lengths, showing that the optimum V1 tracks the
+channel loss (the reason the zero is *tunable* at all).
+
+Run:  python examples/equalizer_tuning.py
+"""
+
+import numpy as np
+
+from repro import (
+    BackplaneChannel,
+    EyeDiagram,
+    bits_to_nrz,
+    build_input_interface,
+    prbs7,
+)
+from repro.reporting import format_table
+
+BIT_RATE = 10e9
+V1_GRID = np.round(np.arange(0.55, 1.21, 0.05), 3)
+
+
+def eye_score(rx, received):
+    """Adaptation metric: eye width minus a jitter penalty."""
+    m = EyeDiagram.measure_waveform(rx.process(received), BIT_RATE,
+                                    skip_ui=16)
+    return m.eye_width_ui, m
+
+
+def adapt(length_m):
+    channel = BackplaneChannel(length_m)
+    wave = bits_to_nrz(prbs7(300), BIT_RATE, amplitude=0.2,
+                       samples_per_bit=16)
+    received = channel.process(wave)
+
+    best = None
+    for v1 in V1_GRID:
+        rx = build_input_interface(equalizer_control_voltage=float(v1))
+        score, measurement = eye_score(rx, received)
+        if best is None or score > best[0]:
+            best = (score, float(v1), measurement,
+                    rx.equalizer.boost_db, rx.equalizer.zero_hz)
+    return channel, best
+
+
+def main() -> None:
+    rows = []
+    optima = []
+    for length in (0.25, 0.45, 0.65):
+        channel, (score, v1, m, boost_db, zero_hz) = adapt(length)
+        optima.append((channel.nyquist_loss_db(BIT_RATE), boost_db))
+        rows.append({
+            "trace (m)": length,
+            "loss@5GHz (dB)": channel.nyquist_loss_db(BIT_RATE),
+            "best V1 (V)": v1,
+            "boost (dB)": boost_db,
+            "zero (GHz)": zero_hz / 1e9,
+            "eye width (UI)": m.eye_width_ui,
+            "jitter pp (ps)": m.jitter_pp * 1e12,
+        })
+    print(format_table(rows))
+
+    losses = [loss for loss, _ in optima]
+    boosts = [boost for _, boost in optima]
+    if all(b2 >= b1 for b1, b2 in zip(boosts, boosts[1:])):
+        print("\nadaptation tracks the channel: more loss -> the loop "
+              "selects more boost (lower V1), as designed")
+    else:
+        print("\nnote: optimum boost did not increase monotonically with"
+              f" loss (losses {losses}, boosts {boosts})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""PVT robustness: the interface across temperature and supply corners.
+
+The paper's answer to PVT is the beta-multiplier reference: "the
+band-gap voltage reference circuit can maintain the operation over a
+wide temperature range.  It can overcome the supply voltage and process
+variation to provide a stable reference voltage for the tail current."
+
+This example rebuilds the input interface at each (temperature, VDD)
+corner with its tail currents re-derived from the BMVR and its devices
+evaluated at temperature, then measures DC gain and bandwidth — showing
+the design stays inside its operating envelope from -40 to 125 C and
+1.6 to 2.0 V.
+
+Run:  python examples/pvt_robustness.py
+"""
+
+import dataclasses
+
+from repro import build_input_interface
+from repro._units import celsius_to_kelvin
+from repro.core import BetaMultiplierReference
+from repro.reporting import format_table
+
+
+def interface_at_corner(temperature_c, vdd):
+    """The input interface re-biased at a PVT corner."""
+    bmvr = BetaMultiplierReference()
+    t_k = celsius_to_kelvin(temperature_c)
+    rx = build_input_interface()
+    la = rx.limiting_amplifier
+
+    def rebias_buffer(buffer):
+        tail = bmvr.tail_current_for(buffer.tail_current, t_k, vdd)
+        pair = buffer.input_pair.at_temperature(t_k)
+        pair = dataclasses.replace(
+            pair, drain_current=tail / 2.0
+        )
+        return dataclasses.replace(buffer, input_pair=pair,
+                                   tail_current=tail)
+
+    def rebias_stage(stage):
+        tail = bmvr.tail_current_for(stage.tail_current, t_k, vdd)
+        pair = stage.input_pair.at_temperature(t_k)
+        pair = dataclasses.replace(pair, drain_current=tail / 2.0)
+        return dataclasses.replace(stage, input_pair=pair,
+                                   tail_current=tail)
+
+    la = dataclasses.replace(
+        la,
+        input_buffer=rebias_buffer(la.input_buffer),
+        gain_stages=[rebias_stage(s) for s in la.gain_stages],
+        output_buffer=rebias_buffer(la.output_buffer),
+    )
+    return dataclasses.replace(rx, limiting_amplifier=la)
+
+
+def main() -> None:
+    rows = []
+    corners = [(-40, 1.6), (-40, 2.0), (27, 1.8), (125, 1.6), (125, 2.0)]
+    for temperature_c, vdd in corners:
+        rx = interface_at_corner(temperature_c, vdd)
+        rows.append({
+            "T (C)": temperature_c,
+            "VDD (V)": vdd,
+            "DC gain (dB)": rx.dc_gain_db(),
+            "BW (GHz)": rx.bandwidth_3db() / 1e9,
+            "LA swing (mV)": rx.limiting_amplifier.output_swing * 1e3,
+        })
+    print(format_table(rows))
+
+    gains = [row["DC gain (dB)"] for row in rows]
+    bws = [row["BW (GHz)"] for row in rows]
+    print(f"\ngain spread : {max(gains) - min(gains):.1f} dB across corners")
+    print(f"BW range    : {min(bws):.1f} .. {max(bws):.1f} GHz")
+    nominal = [row for row in rows if row["T (C)"] == 27][0]
+    if min(bws) > 0.6 * nominal["BW (GHz)"]:
+        print("the BMVR-biased interface stays within its operating "
+              "envelope at every corner")
+
+
+if __name__ == "__main__":
+    main()

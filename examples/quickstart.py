@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's 10 Gb/s CML I/O interface end to end.
+
+Builds the calibrated design point (Table I), transmits a 2^7-1 PRBS at
+10 Gb/s through the output interface, a 0.3 m FR-4 backplane and the
+input interface, and prints the received eye with the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BackplaneChannel,
+    EyeDiagram,
+    bits_to_nrz,
+    build_io_interface,
+    prbs7,
+)
+from repro.analysis import q_to_ber
+from repro.reporting import render_eye
+
+BIT_RATE = 10e9
+
+
+def main() -> None:
+    # 1. The full link at the paper's design point.
+    link = build_io_interface(channel=BackplaneChannel(0.3))
+
+    # 2. The paper's stimulus: 2^7-1 PRBS NRZ at 10 Gb/s.
+    wave = bits_to_nrz(prbs7(400), BIT_RATE, amplitude=0.25,
+                       samples_per_bit=16)
+
+    # 3. Transmit -> channel -> receive.
+    received = link.process(wave)
+
+    # 4. Measure the eye the way a sampling scope would.
+    eye = EyeDiagram(received, BIT_RATE, skip_ui=16)
+    measurement = eye.measure()
+
+    print(render_eye(eye, title="Received eye @ 10 Gb/s (PRBS7)"))
+    print()
+    print(f"eye height     : {measurement.eye_height * 1e3:7.1f} mV")
+    print(f"eye width      : {measurement.eye_width_ui:7.3f} UI")
+    print(f"crossing jitter: {measurement.jitter_pp * 1e12:7.1f} ps pp")
+    print(f"Q factor       : {measurement.q_factor:7.1f}"
+          f"  (BER ~ {q_to_ber(min(measurement.q_factor, 40.0)):.2e})")
+
+    # 5. The Table I budget.
+    budget = link.budget()
+    print()
+    print(f"power          : {budget.total_power_w() * 1e3:7.1f} mW"
+          "   (paper: 70 mW)")
+    print(f"core area      : {budget.total_area_mm2():7.4f} mm^2"
+          " (paper: 0.028 mm^2)")
+    rx = link.input_interface
+    print(f"DC gain        : {rx.dc_gain_db():7.1f} dB  (paper: 40 dB)")
+    print(f"bandwidth      : {rx.bandwidth_3db() / 1e9:7.2f} GHz"
+          " (paper: 9.5 GHz)")
+
+
+if __name__ == "__main__":
+    main()

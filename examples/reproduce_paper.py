@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""One-shot reproduction summary: every headline paper claim, measured.
+
+Runs the key measurement behind each quantitative claim in the paper
+and prints a consolidated paper-vs-measured table — the quick-look
+version of the full benchmark suite (`pytest benchmarks/
+--benchmark-only` regenerates every figure with assertions and archived
+artifacts).
+
+Run:  python examples/reproduce_paper.py   (~1 minute)
+"""
+
+from repro import (
+    BackplaneChannel,
+    EyeDiagram,
+    bits_to_nrz,
+    build_input_interface,
+    build_io_interface,
+    build_output_interface,
+    measure_sensitivity,
+    paper_style_comparison,
+    prbs7,
+)
+from repro.core import BetaMultiplierReference
+from repro.reporting import format_table
+
+BIT_RATE = 10e9
+
+
+def main() -> None:
+    rows = []
+
+    def claim(name, paper, measured, unit=""):
+        rows.append({"claim": name, "paper": paper,
+                     "measured": measured, "unit": unit})
+
+    rx = build_input_interface()
+    tx = build_output_interface()
+    link = build_io_interface()
+    budget = link.budget()
+
+    claim("power", 70.0, round(budget.total_power_w() * 1e3, 1), "mW")
+    claim("core area", 0.028, round(budget.total_area_mm2(), 4), "mm^2")
+    claim("input-interface area", 0.02,
+          round(rx.budget().total_area_mm2(), 4), "mm^2")
+    claim("output-interface area", 0.008,
+          round(tx.budget().total_area_mm2(), 4), "mm^2")
+    claim("DC gain (differential)", 40.0, round(rx.dc_gain_db(), 1), "dB")
+    claim("bandwidth (-3dB)", 9.5,
+          round(rx.bandwidth_3db() / 1e9, 2), "GHz")
+    claim("driver current", 8.0, round(tx.output_current * 1e3, 1), "mA")
+    claim("LA output swing", 250.0, round(rx.output_swing * 1e3, 0), "mV")
+
+    # Eye at both dynamic-range extremes (Fig 14).
+    for vpp, label in ((0.004, "eye width @4 mVpp"),
+                       (1.8, "eye width @1.8 Vpp")):
+        wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=vpp,
+                           samples_per_bit=16)
+        m = EyeDiagram.measure_waveform(rx.process(wave), BIT_RATE,
+                                        skip_ui=16)
+        claim(label, "open", round(m.eye_width_ui, 2), "UI")
+
+    # Sensitivity (abstract).
+    sensitivity = measure_sensitivity(rx.process,
+                                      full_swing=rx.output_swing,
+                                      n_bits=150)
+    claim("input sensitivity", 4.0, round(sensitivity * 1e3, 1), "mVpp")
+
+    # Equalizer effect (Fig 15): jitter through a 13 dB channel.
+    channel = BackplaneChannel(0.5)
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.2,
+                       samples_per_bit=16)
+    received = channel.process(wave)
+    eq_on = build_input_interface(equalizer_control_voltage=0.55)
+    m_on = EyeDiagram.measure_waveform(eq_on.process(received), BIT_RATE,
+                                       skip_ui=16)
+    m_off = EyeDiagram.measure_waveform(
+        rx.without_equalizer().process(received), BIT_RATE, skip_ui=16
+    )
+    claim("Fig15 jitter no-eq -> eq", "improves",
+          f"{m_off.jitter_pp * 1e12:.0f} -> {m_on.jitter_pp * 1e12:.0f}",
+          "ps pp")
+
+    # Peaking effect (Fig 16): post-channel eye height.
+    wave3 = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.3,
+                        samples_per_bit=16)
+    with_pk = channel.process(tx.process(wave3))
+    without_pk = channel.process(tx.without_peaking().process(wave3))
+    h_with = EyeDiagram.measure_waveform(with_pk, BIT_RATE,
+                                         skip_ui=16).eye_height
+    h_without = EyeDiagram.measure_waveform(without_pk, BIT_RATE,
+                                            skip_ui=16).eye_height
+    claim("Fig16 eye height no-pk -> pk", "improves",
+          f"{h_without * 1e3:.0f} -> {h_with * 1e3:.0f}", "mV")
+
+    # Area ablation (abstract).
+    claim("area reduction vs spirals", 80.0,
+          round(paper_style_comparison().reduction_percent, 1), "%")
+
+    # BMVR (Section III-E).
+    bmvr = BetaMultiplierReference()
+    claim("BMVR TC", "<550",
+          round(bmvr.temperature_coefficient_ppm(-40, 125), 1), "ppm/C")
+    claim("BMVR supply sensitivity", "<26",
+          round(bmvr.supply_sensitivity_mv_per_v(), 1), "mV/V")
+
+    print(format_table(rows))
+    print("\nfull regeneration with assertions: "
+          "pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""repro — behavioral reproduction of the SOCC 2005 10 Gb/s wide-band
+CML I/O interface (Chiu, Wu, Hsu, Kao, Jen, Hsu).
+
+The library models every circuit of the paper — Cherry-Hooper input
+equalizer, active-inductor CML buffers with active feedback and negative
+Miller capacitance, the four-stage limiting amplifier with DC-offset
+cancellation, the tapered output driver with the XOR-differentiator
+voltage-peaking (pre-emphasis) circuit, and the beta-multiplier bias
+reference — on top of self-contained substrates for signal generation
+(PRBS/NRZ/jitter/noise), LTI circuit simulation (s-domain transfer
+functions + bilinear discretization), 0.18 um device models, and a lossy
+backplane channel.
+
+Quick start::
+
+    from repro import build_io_interface, prbs7, bits_to_nrz, EyeDiagram
+
+    link = build_io_interface()
+    wave = bits_to_nrz(prbs7(300), bit_rate=10e9, amplitude=0.25)
+    eye = EyeDiagram.measure_waveform(link.process(wave), bit_rate=10e9)
+    print(eye.eye_height, eye.q_factor)
+"""
+
+from .signals import (
+    Waveform,
+    DifferentialWaveform,
+    PrbsGenerator,
+    prbs7,
+    prbs15,
+    prbs31,
+    bits_to_nrz,
+    NrzEncoder,
+    RandomJitter,
+    SinusoidalJitter,
+    JitterBudget,
+    WhiteNoise,
+    thermal_noise_rms,
+)
+from .lti import (
+    RationalTF,
+    Pipeline,
+    LinearBlock,
+    TanhLimiter,
+    first_order_lowpass,
+    second_order_lowpass,
+    pole_zero_tf,
+)
+from .devices import (
+    Technology,
+    TSMC180,
+    Mosfet,
+    nmos,
+    pmos,
+    ActiveInductor,
+    MosVaractor,
+    SpiralInductor,
+)
+from .channel import BackplaneChannel, ChannelParameters, FR4_DEFAULT
+from .core import (
+    CmlBuffer,
+    CherryHooperEqualizer,
+    GainStage,
+    LimitingAmplifier,
+    TaperedDriver,
+    VoltagePeakingCircuit,
+    BetaMultiplierReference,
+    InputInterface,
+    OutputInterface,
+    CmlIoInterface,
+    PowerAreaBudget,
+    build_input_interface,
+    build_output_interface,
+    build_io_interface,
+)
+from .analysis import (
+    EyeDiagram,
+    EyeMeasurement,
+    measure_tf,
+    measure_sensitivity,
+    measure_dynamic_range,
+    q_to_ber,
+    bathtub_from_waveform,
+    pulse_response,
+)
+from .baselines import (
+    table1_rows,
+    measured_this_work,
+    paper_style_comparison,
+    FirPreEmphasis,
+    zero_forcing_taps,
+)
+from .cdr import BangBangCdr, CdrConfig, CdrResult
+from .serdes import Serializer, Deserializer, run_link, LinkReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Waveform",
+    "DifferentialWaveform",
+    "PrbsGenerator",
+    "prbs7",
+    "prbs15",
+    "prbs31",
+    "bits_to_nrz",
+    "NrzEncoder",
+    "RandomJitter",
+    "SinusoidalJitter",
+    "JitterBudget",
+    "WhiteNoise",
+    "thermal_noise_rms",
+    "RationalTF",
+    "Pipeline",
+    "LinearBlock",
+    "TanhLimiter",
+    "first_order_lowpass",
+    "second_order_lowpass",
+    "pole_zero_tf",
+    "Technology",
+    "TSMC180",
+    "Mosfet",
+    "nmos",
+    "pmos",
+    "ActiveInductor",
+    "MosVaractor",
+    "SpiralInductor",
+    "BackplaneChannel",
+    "ChannelParameters",
+    "FR4_DEFAULT",
+    "CmlBuffer",
+    "CherryHooperEqualizer",
+    "GainStage",
+    "LimitingAmplifier",
+    "TaperedDriver",
+    "VoltagePeakingCircuit",
+    "BetaMultiplierReference",
+    "InputInterface",
+    "OutputInterface",
+    "CmlIoInterface",
+    "PowerAreaBudget",
+    "build_input_interface",
+    "build_output_interface",
+    "build_io_interface",
+    "EyeDiagram",
+    "EyeMeasurement",
+    "measure_tf",
+    "measure_sensitivity",
+    "measure_dynamic_range",
+    "q_to_ber",
+    "bathtub_from_waveform",
+    "pulse_response",
+    "table1_rows",
+    "measured_this_work",
+    "paper_style_comparison",
+    "FirPreEmphasis",
+    "zero_forcing_taps",
+    "BangBangCdr",
+    "CdrConfig",
+    "CdrResult",
+    "Serializer",
+    "Deserializer",
+    "run_link",
+    "LinkReport",
+    "__version__",
+]

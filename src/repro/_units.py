@@ -1,0 +1,95 @@
+"""Unit helpers and physical constants used across the library.
+
+The library works in SI units everywhere (volts, amps, seconds, hertz,
+farads, henries, ohms, metres).  These helpers exist so that parameter
+values in circuit modules read like the paper: ``10 * GIGA`` bits per
+second, ``4 * MILLI`` volts, ``0.18 * MICRO`` metres.
+"""
+
+from __future__ import annotations
+
+import math
+
+# SI prefixes -----------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Physical constants ----------------------------------------------------
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant k_B in J/K."""
+
+ELEMENTARY_CHARGE = 1.602176634e-19
+"""Elementary charge q in coulombs."""
+
+ZERO_CELSIUS = 273.15
+"""0 degrees Celsius in kelvin."""
+
+ROOM_TEMPERATURE = ZERO_CELSIUS + 27.0
+"""The customary SPICE default simulation temperature (27 C) in kelvin."""
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage kT/q in volts at ``temperature_k``.
+
+    At room temperature this is the familiar ~25.9 mV.
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive kelvin, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from Celsius to kelvin."""
+    return celsius + ZERO_CELSIUS
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from kelvin to Celsius."""
+    return kelvin - ZERO_CELSIUS
+
+
+def db(ratio: float) -> float:
+    """Express an amplitude ratio in decibels (20 log10)."""
+    if ratio <= 0:
+        raise ValueError(f"amplitude ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def db_power(ratio: float) -> float:
+    """Express a power ratio in decibels (10 log10)."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert an amplitude value in dB back into a linear ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def dbm_to_vpp(dbm: float, impedance_ohm: float = 50.0) -> float:
+    """Convert a sine power in dBm into its peak-to-peak voltage.
+
+    Useful when comparing against lab instrumentation conventions: a 0 dBm
+    sine into 50 ohm is ~632 mVpp.
+    """
+    power_w = 1e-3 * 10.0 ** (dbm / 10.0)
+    v_rms = math.sqrt(power_w * impedance_ohm)
+    return 2.0 * math.sqrt(2.0) * v_rms
+
+
+def vpp_to_dbm(vpp: float, impedance_ohm: float = 50.0) -> float:
+    """Convert a sine peak-to-peak voltage into power in dBm."""
+    if vpp <= 0:
+        raise ValueError(f"peak-to-peak voltage must be positive, got {vpp}")
+    v_rms = vpp / (2.0 * math.sqrt(2.0))
+    power_w = v_rms**2 / impedance_ohm
+    return 10.0 * math.log10(power_w / 1e-3)

@@ -1,0 +1,75 @@
+"""Measurement substrate: the oscilloscope/BERT/VNA the paper's
+evaluation was read with.
+
+Eye diagrams, BER/bathtub estimation, AC response measurement (analytic
+and stimulus-based), receiver sensitivity/dynamic-range sweeps and
+pulse-response ISI analysis.
+"""
+
+from .eye import EyeMeasurement, EyeDiagram
+from .ber import (
+    q_to_ber,
+    ber_to_q,
+    ber_from_eye,
+    BathtubCurve,
+    bathtub_from_waveform,
+)
+from .ac import (
+    AcMeasurement,
+    measure_tf,
+    goertzel_amplitude,
+    measure_gain_at,
+    measure_frequency_response,
+    measure_bandwidth_stimulus,
+)
+from .sensitivity import (
+    SensitivityResult,
+    eye_is_good,
+    measure_sensitivity,
+    measure_overload,
+    measure_dynamic_range,
+)
+from .isi import PulseResponse, pulse_response, worst_case_eye_opening
+from .jitter_decomposition import (
+    JitterDecomposition,
+    decompose_jitter,
+    decompose_crossings,
+)
+from .mask import EyeMask, MaskResult, check_mask
+from .spectrum import power_spectral_density, band_power, spectral_centroid
+from .bert import BertResult, check_prbs
+
+__all__ = [
+    "EyeMeasurement",
+    "EyeDiagram",
+    "q_to_ber",
+    "ber_to_q",
+    "ber_from_eye",
+    "BathtubCurve",
+    "bathtub_from_waveform",
+    "AcMeasurement",
+    "measure_tf",
+    "goertzel_amplitude",
+    "measure_gain_at",
+    "measure_frequency_response",
+    "measure_bandwidth_stimulus",
+    "SensitivityResult",
+    "eye_is_good",
+    "measure_sensitivity",
+    "measure_overload",
+    "measure_dynamic_range",
+    "PulseResponse",
+    "pulse_response",
+    "worst_case_eye_opening",
+    "JitterDecomposition",
+    "decompose_jitter",
+    "decompose_crossings",
+    "EyeMask",
+    "MaskResult",
+    "check_mask",
+    "power_spectral_density",
+    "band_power",
+    "spectral_centroid",
+    "BertResult",
+    "check_prbs",
+]

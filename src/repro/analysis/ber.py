@@ -1,0 +1,128 @@
+"""Bit-error-ratio estimation and bathtub curves.
+
+An eye diagram with Gaussian level/jitter statistics maps onto a BER
+through the Q-factor formalism (Personick): sampling a one/zero of means
+``mu1/mu0`` and sigmas ``s1/s0`` against threshold mid-way gives
+
+    BER = 0.5 * erfc(Q / sqrt(2)),   Q = (mu1 - mu0) / (s1 + s0)
+
+The horizontal equivalent — BER versus sampling-phase offset, with the
+two crossing distributions encroaching from either side — is the
+*bathtub curve* used to specify timing margin at a target BER.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+from scipy.special import erfc, erfcinv
+
+from .eye import EyeDiagram
+from ..signals.waveform import Waveform
+
+__all__ = ["q_to_ber", "ber_to_q", "ber_from_eye", "BathtubCurve",
+           "bathtub_from_waveform"]
+
+
+def q_to_ber(q: float) -> float:
+    """BER of a Gaussian decision problem with quality factor ``q``."""
+    if q < 0:
+        raise ValueError(f"Q must be >= 0, got {q}")
+    return float(0.5 * erfc(q / math.sqrt(2.0)))
+
+
+def ber_to_q(ber: float) -> float:
+    """Inverse of :func:`q_to_ber`."""
+    if not 0 < ber < 0.5:
+        raise ValueError(f"BER must be in (0, 0.5), got {ber}")
+    return float(math.sqrt(2.0) * erfcinv(2.0 * ber))
+
+
+def ber_from_eye(wave: Waveform, bit_rate: float, skip_ui: int = 8) -> float:
+    """Estimated BER of a waveform via its eye Q-factor."""
+    measurement = EyeDiagram.measure_waveform(wave, bit_rate, skip_ui=skip_ui)
+    if not math.isfinite(measurement.q_factor):
+        return 0.0
+    return q_to_ber(measurement.q_factor)
+
+
+@dataclasses.dataclass(frozen=True)
+class BathtubCurve:
+    """BER versus sampling phase across one UI.
+
+    Built from the left/right crossing-jitter statistics: each crossing
+    is modeled as a Gaussian in time, and the BER at a sampling phase is
+    the probability mass of either crossing distribution reaching it.
+    """
+
+    phases_ui: np.ndarray
+    ber: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.phases_ui) != len(self.ber):
+            raise ValueError("phase and BER arrays must have equal length")
+
+    def eye_opening_at(self, target_ber: float) -> float:
+        """Horizontal opening (UI) where BER stays below ``target_ber``.
+
+        Zero when no phase meets the target.
+        """
+        if not 0 < target_ber < 0.5:
+            raise ValueError(
+                f"target_ber must be in (0, 0.5), got {target_ber}"
+            )
+        good = self.ber < target_ber
+        if not np.any(good):
+            return 0.0
+        return float(np.sum(good) / len(self.ber))
+
+    def minimum_ber(self) -> float:
+        """Best achievable BER over all sampling phases."""
+        return float(np.min(self.ber))
+
+    def best_phase_ui(self) -> float:
+        """Sampling phase with the lowest BER.
+
+        The clipped BER floor can produce a flat minimum region; the
+        centre of that region is the robust choice (as a CDR would
+        pick).
+        """
+        minimum = np.min(self.ber)
+        flat = np.flatnonzero(self.ber <= minimum * (1.0 + 1e-12))
+        return float(self.phases_ui[flat[len(flat) // 2]])
+
+
+def bathtub_from_waveform(wave: Waveform, bit_rate: float,
+                          skip_ui: int = 8,
+                          n_phases: int = 101) -> BathtubCurve:
+    """Construct a bathtub curve from a simulated waveform.
+
+    The left and right eye crossings are located from the folded
+    crossing-time distribution; a Gaussian is fitted to each and the BER
+    at every phase is the sum of the two tail probabilities (the
+    transition density factor 0.5 is applied, matching the convention of
+    jitter analyzers).
+    """
+    if n_phases < 11:
+        raise ValueError(f"n_phases must be >= 11, got {n_phases}")
+    eye = EyeDiagram(wave, bit_rate, skip_ui=skip_ui)
+    crossings = eye.crossing_times_ui()
+    if crossings.size < 4:
+        raise ValueError("too few crossings for a bathtub curve")
+
+    center = float(np.median(crossings))
+    mu = center
+    sigma = float(np.std(crossings))
+    sigma = max(sigma, 1e-6)
+
+    phases = np.linspace(0.0, 1.0, n_phases)
+    # Crossings at mu (left edge of this eye) and mu + 1 (right edge).
+    def tail(x: np.ndarray) -> np.ndarray:
+        return 0.5 * erfc(x / (sigma * math.sqrt(2.0)))
+
+    ber_left = 0.5 * tail(phases - mu)
+    ber_right = 0.5 * tail((mu + 1.0) - phases)
+    ber = np.clip(ber_left + ber_right, 1e-30, 0.5)
+    return BathtubCurve(phases_ui=phases, ber=ber)

@@ -1,0 +1,50 @@
+"""Baselines: the designs and published results the paper compares
+against — the spiral-inductor variant (area claim) and the Table I
+record columns.
+"""
+
+from .spiral_inductor import (
+    equivalent_spiral_load,
+    spiral_variant_of,
+    SpiralAreaComparison,
+    compare_area,
+    paper_style_comparison,
+    bandwidth_parity_check,
+)
+from .published import (
+    PublishedResult,
+    TAO_BERROTH_2003,
+    GALAL_RAZAVI_2003,
+    PAPER_THIS_WORK,
+    measured_this_work,
+    table1_rows,
+)
+from .digital_preemphasis import (
+    FirPreEmphasis,
+    zero_forcing_taps,
+    taps_equivalent_to_peaking,
+)
+from .ctle import GenericCtle, ctle_matching_equalizer
+from .dfe import DecisionFeedbackEqualizer, dfe_taps_from_channel
+
+__all__ = [
+    "equivalent_spiral_load",
+    "spiral_variant_of",
+    "SpiralAreaComparison",
+    "compare_area",
+    "paper_style_comparison",
+    "bandwidth_parity_check",
+    "PublishedResult",
+    "TAO_BERROTH_2003",
+    "GALAL_RAZAVI_2003",
+    "PAPER_THIS_WORK",
+    "measured_this_work",
+    "table1_rows",
+    "FirPreEmphasis",
+    "zero_forcing_taps",
+    "taps_equivalent_to_peaking",
+    "GenericCtle",
+    "ctle_matching_equalizer",
+    "DecisionFeedbackEqualizer",
+    "dfe_taps_from_channel",
+]

@@ -1,0 +1,87 @@
+"""Generic CTLE baseline: the conventional receive equalizer the
+Cherry-Hooper design competes with.
+
+A continuous-time linear equalizer in its textbook form is a single
+degenerated stage with transfer
+
+    H(s) = g * (1 + s/wz) / ((1 + s/wp1)(1 + s/wp2))
+
+i.e. exactly one zero and two poles.  The paper's Cherry-Hooper
+equalizer achieves the same family of responses but adds the active
+feedback that keeps gain AND 50-ohm input match simultaneously (a plain
+CTLE must trade one for the other).  This baseline exists so the
+benches can show the response-shape equivalence and quantify the
+gain/match difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..lti.blocks import LinearBlock
+from ..lti.transfer_function import RationalTF, pole_zero_tf
+
+__all__ = ["GenericCtle", "ctle_matching_equalizer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GenericCtle:
+    """One-zero/two-pole CTLE.
+
+    Parameters
+    ----------
+    dc_gain:
+        Linear gain at DC (< peak gain; the boost is wz->wp1).
+    zero_hz, pole1_hz, pole2_hz:
+        The zero and pole frequencies; boost = pole1/zero when
+        pole2 >> pole1.
+    """
+
+    dc_gain: float
+    zero_hz: float
+    pole1_hz: float
+    pole2_hz: float
+
+    def __post_init__(self) -> None:
+        if self.dc_gain <= 0:
+            raise ValueError(f"dc_gain must be positive, got {self.dc_gain}")
+        if not 0 < self.zero_hz < self.pole1_hz <= self.pole2_hz:
+            raise ValueError(
+                "need 0 < zero < pole1 <= pole2, got "
+                f"{self.zero_hz}, {self.pole1_hz}, {self.pole2_hz}"
+            )
+
+    def transfer_function(self) -> RationalTF:
+        return pole_zero_tf([self.pole1_hz, self.pole2_hz],
+                            [self.zero_hz], gain=self.dc_gain)
+
+    def boost_db(self) -> float:
+        """Peak boost above DC in dB."""
+        tf = self.transfer_function()
+        freqs = np.logspace(7, 10.7, 800)
+        mags = np.abs(tf.response(freqs))
+        return 20.0 * math.log10(float(np.max(mags)) / self.dc_gain)
+
+    def to_block(self) -> LinearBlock:
+        """Simulation block (a CTLE is linear by definition)."""
+        return LinearBlock(self.transfer_function(), name="ctle")
+
+
+def ctle_matching_equalizer(equalizer) -> GenericCtle:
+    """The CTLE whose response matches a Cherry-Hooper equalizer's.
+
+    Reads the equalizer's tunable zero and boost and places the CTLE's
+    singularities to reproduce them — the response-equivalence bridge
+    for the baseline bench.
+    """
+    zero = equalizer.zero_hz
+    boost = equalizer.boost_ratio
+    pole1 = zero * boost
+    # Second pole: the equalizer's output-stage bandwidth.
+    pole2 = max(pole1 * 1.5, 9e9)
+    dc_gain = abs(equalizer.dc_gain())
+    return GenericCtle(dc_gain=dc_gain, zero_hz=zero,
+                       pole1_hz=pole1, pole2_hz=pole2)

@@ -1,0 +1,132 @@
+"""Decision-feedback equalizer baseline (receiver-side digital EQ).
+
+The receiver-side counterpart of the digital pre-emphasis baseline: a
+DFE cancels *post-cursor* ISI by subtracting, from the analog input,
+tap-weighted copies of the bits already decided.  Unlike a linear
+equalizer it amplifies no noise or crosstalk — but it cannot touch
+pre-cursor ISI and it needs a decision clock (a CDR) to exist.
+
+The paper's receive equalization is purely analog (the Cherry-Hooper
+high-pass); this baseline quantifies what a small DFE would add on the
+same channels — the road the field took in the years after the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.isi import pulse_response
+from ..lti.blocks import Block
+from ..signals.waveform import Waveform
+
+__all__ = ["DecisionFeedbackEqualizer", "dfe_taps_from_channel"]
+
+
+@dataclasses.dataclass
+class DecisionFeedbackEqualizer:
+    """A baud-rate N-tap DFE with ideal decision timing.
+
+    Parameters
+    ----------
+    taps:
+        Post-cursor tap weights in volts (the amount subtracted per
+        decided one-bit; sign convention: positive taps cancel positive
+        post-cursor ISI).
+    bit_rate:
+        The baud rate.
+    decision_amplitude:
+        The +-amplitude the slicer assumes for decided bits.
+    sample_phase_ui:
+        Sampling phase within the UI (0.5 = centre).
+    """
+
+    taps: Sequence[float]
+    bit_rate: float
+    decision_amplitude: float = 1.0
+    sample_phase_ui: float = 0.5
+
+    def __post_init__(self) -> None:
+        taps = np.asarray(self.taps, dtype=float)
+        if taps.size == 0:
+            raise ValueError("DFE needs at least one tap")
+        if self.bit_rate <= 0:
+            raise ValueError(f"bit_rate must be positive, got {self.bit_rate}")
+        if self.decision_amplitude <= 0:
+            raise ValueError("decision_amplitude must be positive")
+        if not 0.0 < self.sample_phase_ui < 1.0:
+            raise ValueError(
+                f"sample_phase_ui must be in (0,1), got {self.sample_phase_ui}"
+            )
+        self.taps = taps
+
+    def equalize(self, wave: Waveform) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the DFE over a waveform.
+
+        Returns ``(decisions, corrected_samples)``: the sliced bits and
+        the ISI-corrected analog samples at the decision instants (the
+        quantity whose histogram is the DFE's "inner eye").
+        """
+        ui_samples = wave.sample_rate / self.bit_rate
+        n_bits = int((len(wave) - 1) / ui_samples)
+        if n_bits < len(self.taps) + 4:
+            raise ValueError("waveform too short for the tap count")
+        decisions = np.zeros(n_bits, dtype=np.int8)
+        corrected = np.zeros(n_bits)
+        history = np.zeros(len(self.taps))  # previous decided values (+-A)
+        for k in range(n_bits):
+            index = (k + self.sample_phase_ui) * ui_samples
+            i0 = int(index)
+            frac = index - i0
+            raw = (1 - frac) * wave.data[i0] + frac * wave.data[
+                min(i0 + 1, len(wave) - 1)]
+            value = raw - float(np.dot(self.taps, history))
+            corrected[k] = value
+            bit = 1 if value > 0 else 0
+            decisions[k] = bit
+            level = self.decision_amplitude if bit else \
+                -self.decision_amplitude
+            history = np.roll(history, 1)
+            history[0] = level
+        return decisions, corrected
+
+    def inner_eye_height(self, wave: Waveform,
+                         skip_bits: int = 16) -> float:
+        """Worst-case vertical opening of the corrected samples."""
+        _, corrected = self.equalize(wave)
+        usable = corrected[skip_bits:]
+        ones = usable[usable > 0]
+        zeros = usable[usable <= 0]
+        if ones.size == 0 or zeros.size == 0:
+            return -float("inf")
+        return float(ones.min() - zeros.max())
+
+
+def dfe_taps_from_channel(channel: Block, bit_rate: float, n_taps: int = 2,
+                          amplitude: float = 1.0,
+                          decision_amplitude: float = 1.0,
+                          samples_per_bit: int = 16) -> np.ndarray:
+    """Provision DFE taps from the channel's measured post-cursors.
+
+    For NRZ decomposed as ``y[n] = sum_k s_k h[n-k]/2`` (``s_k`` in
+    {-1, +1}, ``h`` the single-bit pulse cursors at drive swing
+    ``amplitude`` pp), the zero-forcing tap j must subtract
+    ``s_{n-j} h[j]/2``; with decided values stored as
+    ``+-decision_amplitude`` the tap weight is
+    ``h[j] / (2 * decision_amplitude)``.
+    """
+    if n_taps < 1:
+        raise ValueError(f"n_taps must be >= 1, got {n_taps}")
+    if decision_amplitude <= 0:
+        raise ValueError(
+            f"decision_amplitude must be positive, got {decision_amplitude}"
+        )
+    pulse = pulse_response(channel, bit_rate,
+                           samples_per_bit=samples_per_bit,
+                           amplitude=amplitude)
+    post = pulse.postcursors()[:n_taps]
+    if len(post) < n_taps:
+        raise ValueError("pulse response too short for the tap count")
+    return np.asarray(post) / (2.0 * decision_amplitude)

@@ -1,0 +1,18 @@
+"""Clock-data recovery: the downstream consumer the paper's limiting
+amplifier feeds ("to amplify the input signal to a sufficient voltage
+for the reliable operation of Clock Data Recovery").
+
+Bang-bang (Alexander) phase detection and a proportional+integral
+digital loop running directly on simulated analog waveforms.
+"""
+
+from .phase_detector import PdVote, alexander_votes
+from .loop import CdrConfig, CdrResult, BangBangCdr
+
+__all__ = [
+    "PdVote",
+    "alexander_votes",
+    "CdrConfig",
+    "CdrResult",
+    "BangBangCdr",
+]

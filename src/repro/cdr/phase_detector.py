@@ -1,0 +1,74 @@
+"""Bang-bang (Alexander) phase detection.
+
+The paper's limiting amplifier exists to feed a clock-data-recovery
+circuit ("Limiting Amplifiers are responsible to amplify the input
+signal to a sufficient voltage for the reliable operation of Clock Data
+Recovery").  The CDR package closes that loop: this module implements
+the standard Alexander early/late detector that a 10 Gb/s CML receiver
+of this era would pair with.
+
+An Alexander PD samples the waveform three times per decision — at the
+previous data centre (A), the crossing between bits (T) and the current
+data centre (B) — and votes:
+
+* ``A == T != B``  → clock is EARLY (the crossing sample agrees with the
+  *previous* bit: the edge came after the crossing sample);
+* ``A != T == B``  → clock is LATE;
+* no transition or contradictory votes → no information (hold).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["PdVote", "alexander_votes"]
+
+
+class PdVote(enum.IntEnum):
+    """Tri-state phase-detector output."""
+
+    LATE = -1
+    HOLD = 0
+    EARLY = 1
+
+
+def alexander_votes(samples_data: np.ndarray,
+                    samples_edge: np.ndarray) -> np.ndarray:
+    """Vectorized Alexander votes from data and edge sample trains.
+
+    Parameters
+    ----------
+    samples_data:
+        Sliced analog samples at the data instants (length N).
+    samples_edge:
+        Sliced analog samples at the crossing instants *between*
+        consecutive data samples (length N-1): ``samples_edge[k]`` lies
+        between ``samples_data[k]`` and ``samples_data[k+1]``.
+
+    Returns
+    -------
+    Array of length N-1 with values in {-1, 0, +1} (LATE/HOLD/EARLY).
+    """
+    samples_data = np.asarray(samples_data, dtype=float)
+    samples_edge = np.asarray(samples_edge, dtype=float)
+    if len(samples_edge) != len(samples_data) - 1:
+        raise ValueError(
+            f"edge samples must number data samples - 1: "
+            f"{len(samples_edge)} vs {len(samples_data)}"
+        )
+    a = np.sign(samples_data[:-1])
+    b = np.sign(samples_data[1:])
+    t = np.sign(samples_edge)
+    a[a == 0] = 1
+    b[b == 0] = 1
+    t[t == 0] = 1
+
+    transition = a != b
+    early = transition & (t == a)
+    late = transition & (t == b)
+    votes = np.zeros(len(t), dtype=np.int8)
+    votes[early] = PdVote.EARLY
+    votes[late] = PdVote.LATE
+    return votes

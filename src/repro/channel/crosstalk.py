@@ -1,0 +1,120 @@
+"""Crosstalk aggressors: NEXT and FEXT on the backplane.
+
+Switch-fabric backplanes (the paper's Fig 1) route many serial lanes in
+parallel; a victim lane's eye closes not only from its own loss but
+from near-end (NEXT) and far-end (FEXT) coupling off neighbouring
+lanes.  First-order behavioral model:
+
+* **FEXT** — coupled energy travels *with* the victim signal; its
+  transfer rises with frequency (coupling is capacitive/inductive
+  derivative-like) and is attenuated by the full line: modeled as a
+  scaled differentiation of the aggressor after the channel.
+* **NEXT** — coupled energy travels *backwards* and appears at the
+  victim's receive end without line attenuation: a scaled, high-passed
+  copy of the (near-end) aggressor.
+
+Both are knobs in dB of coupling at Nyquist, the way signal-integrity
+budgets quote them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..lti.blocks import Block
+from ..signals.waveform import Waveform
+from .backplane import BackplaneChannel
+
+__all__ = ["CrosstalkAggressor", "CrosstalkChannel"]
+
+
+@dataclasses.dataclass
+class CrosstalkAggressor:
+    """One interfering lane.
+
+    Parameters
+    ----------
+    signal:
+        The aggressor's transmitted waveform (same timebase as the
+        victim).
+    coupling_db:
+        Coupling magnitude at the Nyquist frequency, positive dB down
+        (e.g. 26 means the aggressor arrives 26 dB below its swing).
+    nyquist_hz:
+        The frequency at which ``coupling_db`` is specified.
+    is_fext:
+        True for far-end crosstalk (travels through the channel with
+        the victim), False for near-end.
+    """
+
+    signal: Waveform
+    coupling_db: float
+    nyquist_hz: float = 5e9
+    is_fext: bool = True
+
+    def __post_init__(self) -> None:
+        if self.coupling_db < 0:
+            raise ValueError(
+                f"coupling_db is positive-down, got {self.coupling_db}"
+            )
+        if self.nyquist_hz <= 0:
+            raise ValueError(
+                f"nyquist_hz must be positive, got {self.nyquist_hz}"
+            )
+
+    def coupled_waveform(self,
+                         channel: Optional[BackplaneChannel]) -> Waveform:
+        """The interference this aggressor adds at the victim's far end.
+
+        The derivative coupling is normalized so a full-swing aggressor
+        transition contributes ``10^(-coupling_db/20)`` of its swing at
+        the specified Nyquist frequency.
+        """
+        wave = self.signal
+        # Derivative coupling: d/dt normalized at Nyquist.
+        derivative = np.gradient(wave.data) * wave.sample_rate
+        scale = 10.0 ** (-self.coupling_db / 20.0) \
+            / (2.0 * np.pi * self.nyquist_hz)
+        coupled = wave.with_data(derivative * scale)
+        if self.is_fext and channel is not None:
+            coupled = channel.process(coupled)
+        return coupled
+
+
+@dataclasses.dataclass
+class CrosstalkChannel(Block):
+    """A victim channel with aggressor lanes summed at the far end."""
+
+    channel: BackplaneChannel
+    aggressors: Sequence[CrosstalkAggressor] = ()
+    name: str = "crosstalk-channel"
+
+    def process(self, wave: Waveform) -> Waveform:
+        victim = self.channel.process(wave)
+        total = victim.data.copy()
+        for aggressor in self.aggressors:
+            interference = aggressor.coupled_waveform(
+                self.channel if aggressor.is_fext else None
+            )
+            if len(interference) != len(victim):
+                raise ValueError(
+                    "aggressor waveform length "
+                    f"{len(interference)} != victim {len(victim)}"
+                )
+            total = total + interference.data
+        return victim.with_data(total)
+
+    def interference_rms(self) -> float:
+        """RMS of the summed interference alone (victim silent)."""
+        if not self.aggressors:
+            return 0.0
+        total = None
+        for aggressor in self.aggressors:
+            contribution = aggressor.coupled_waveform(
+                self.channel if aggressor.is_fext else None
+            ).data
+            total = contribution if total is None else total + contribution
+        return float(np.sqrt(np.mean(total**2)))

@@ -1,0 +1,184 @@
+"""RLGC transmission-line model (frequency-dependent, from first
+principles).
+
+The parametric skin + dielectric model in :mod:`repro.channel.backplane`
+is an empirical fit; this module derives the same physics from the
+telegrapher's equations.  A uniform line with per-metre R(f), L, G(f), C
+has
+
+    gamma(f) = sqrt((R + jwL)(G + jwC))      propagation constant
+    Z0(f)    = sqrt((R + jwL)/(G + jwC))     characteristic impedance
+
+with the skin effect making ``R ~ sqrt(f)`` and dielectric loss making
+``G ~ f tan(delta)``.  The model provides |S21| for a matched line plus
+the input impedance / reflection machinery for mismatched terminations,
+and a consistency check against the parametric model used by the
+benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from .backplane import ChannelParameters
+
+__all__ = ["RlgcLine", "microstrip_like"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RlgcLine:
+    """A uniform transmission line described by RLGC parameters.
+
+    Parameters
+    ----------
+    r_dc:
+        DC conductor resistance per metre (ohm/m).
+    r_skin:
+        Skin-effect coefficient: R_ac = r_skin * sqrt(f) (ohm/(m sqrtHz)).
+    inductance:
+        Series inductance per metre (H/m).
+    capacitance:
+        Shunt capacitance per metre (F/m).
+    tan_delta:
+        Dielectric loss tangent: G = 2 pi f C tan_delta.
+    length:
+        Physical length in metres.
+    """
+
+    r_dc: float
+    r_skin: float
+    inductance: float
+    capacitance: float
+    tan_delta: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if min(self.inductance, self.capacitance, self.length) <= 0:
+            raise ValueError("L, C and length must be positive")
+        if self.r_dc < 0 or self.r_skin < 0 or self.tan_delta < 0:
+            raise ValueError("loss terms must be non-negative")
+
+    # -- per-metre quantities -------------------------------------------------
+    def series_impedance(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Z(f) = R(f) + j w L per metre."""
+        f = np.asarray(freq_hz, dtype=float)
+        r = self.r_dc + self.r_skin * np.sqrt(np.abs(f))
+        return r + 2j * np.pi * f * self.inductance
+
+    def shunt_admittance(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Y(f) = G(f) + j w C per metre."""
+        f = np.asarray(freq_hz, dtype=float)
+        w = 2.0 * np.pi * f
+        g = w * self.capacitance * self.tan_delta
+        return g + 1j * w * self.capacitance
+
+    def gamma(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Propagation constant sqrt(Z Y) (1/m), Re >= 0 branch."""
+        value = np.sqrt(self.series_impedance(freq_hz)
+                        * self.shunt_admittance(freq_hz))
+        # Select the decaying branch.
+        flip = value.real < 0
+        value = np.where(flip, -value, value)
+        return value
+
+    def characteristic_impedance(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Z0(f) = sqrt(Z / Y)."""
+        return np.sqrt(self.series_impedance(freq_hz)
+                       / self.shunt_admittance(freq_hz))
+
+    @property
+    def z0_nominal(self) -> float:
+        """Lossless-limit characteristic impedance sqrt(L/C)."""
+        return math.sqrt(self.inductance / self.capacitance)
+
+    @property
+    def delay(self) -> float:
+        """Lossless-limit propagation delay length * sqrt(L C)."""
+        return self.length * math.sqrt(self.inductance * self.capacitance)
+
+    # -- network responses -----------------------------------------------------
+    def s21_matched(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Transmission through the line with matched terminations:
+        exp(-gamma * length)."""
+        return np.exp(-self.gamma(freq_hz) * self.length)
+
+    def s21_db(self, freq_hz: np.ndarray) -> np.ndarray:
+        """|S21| in dB (negative-going), matched."""
+        return 20.0 * np.log10(np.maximum(np.abs(
+            self.s21_matched(freq_hz)), 1e-30))
+
+    def loss_db(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Positive insertion loss in dB, matched."""
+        return -self.s21_db(freq_hz)
+
+    def input_impedance(self, freq_hz: np.ndarray,
+                        z_load: float) -> np.ndarray:
+        """Impedance looking into the line terminated in ``z_load``:
+
+            Zin = Z0 (Zl + Z0 tanh(g l)) / (Z0 + Zl tanh(g l))
+        """
+        if z_load < 0:
+            raise ValueError(f"z_load must be >= 0, got {z_load}")
+        z0 = self.characteristic_impedance(freq_hz)
+        t = np.tanh(self.gamma(freq_hz) * self.length)
+        return z0 * (z_load + z0 * t) / (z0 + z_load * t)
+
+    def transfer_mismatched(self, freq_hz: np.ndarray, z_source: float,
+                            z_load: float) -> np.ndarray:
+        """Voltage transfer V_load/V_source with arbitrary resistive
+        terminations (ABCD-matrix solution of the two-port)."""
+        if z_source < 0 or z_load < 0:
+            raise ValueError("termination impedances must be >= 0")
+        g_l = self.gamma(freq_hz) * self.length
+        z0 = self.characteristic_impedance(freq_hz)
+        a = np.cosh(g_l)
+        b = z0 * np.sinh(g_l)
+        c = np.sinh(g_l) / z0
+        d = np.cosh(g_l)
+        # V_load / V_source for source impedance Zs into load Zl:
+        denominator = (a * z_load + b + z_source * (c * z_load + d))
+        return z_load / denominator
+
+    # -- bridges -----------------------------------------------------------
+    def equivalent_parameters(self, fit_freqs: np.ndarray | None = None
+                              ) -> ChannelParameters:
+        """Fit the parametric skin+dielectric model to this line's loss.
+
+        The bridge between the physics model and the fast parametric
+        channel the benches use.
+        """
+        from .fitting import fit_channel_parameters
+
+        if fit_freqs is None:
+            fit_freqs = np.linspace(0.5e9, 10e9, 40)
+        return fit_channel_parameters(fit_freqs, self.loss_db(fit_freqs),
+                                      length_m=self.length)
+
+
+def microstrip_like(length: float, z0: float = 50.0,
+                    er_eff: float = 3.0, tan_delta: float = 0.02,
+                    trace_width: float = 150e-6) -> RlgcLine:
+    """A realistic FR-4 microstrip/stripline RLGC description.
+
+    L and C follow from the target Z0 and effective permittivity
+    (v = c/sqrt(er_eff), Z0 = sqrt(L/C)); the skin coefficient comes
+    from copper's surface resistance over the trace width.
+    """
+    if length <= 0 or z0 <= 0 or er_eff < 1 or trace_width <= 0:
+        raise ValueError("non-physical microstrip parameters")
+    c_light = 2.998e8
+    velocity = c_light / math.sqrt(er_eff)
+    inductance = z0 / velocity
+    capacitance = 1.0 / (z0 * velocity)
+    # Copper: Rs = sqrt(pi f mu0 rho); per metre R = 2 Rs / width
+    # (factor 2: signal + return path crowding), so
+    # r_skin = 2 sqrt(pi mu0 rho) / width.
+    mu0 = 4e-7 * math.pi
+    rho_copper = 1.68e-8
+    r_skin = 2.0 * math.sqrt(math.pi * mu0 * rho_copper) / trace_width
+    return RlgcLine(r_dc=5.0, r_skin=r_skin, inductance=inductance,
+                    capacitance=capacitance, tan_delta=tan_delta,
+                    length=length)

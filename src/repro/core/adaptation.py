@@ -1,0 +1,184 @@
+"""Adaptation loops for the interface's analog knobs.
+
+The paper's circuits expose three continuous knobs — the equalizer's
+NMOS gate voltage V1, the peaking differentiator's tail current, and
+the delay buffer's tail current — and says they are "tunable" without
+saying how they get tuned.  In a deployed SerDes an adaptation loop
+does it: measure an eye-quality metric, move the knob, keep what helps.
+
+This module provides that loop as a library API: a generic scalar-knob
+optimizer (coarse grid + golden-section refinement, derivative-free —
+eye metrics are noisy and non-smooth) and ready-made adapters for the
+equalizer and the peaking circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Tuple
+
+from ..analysis.eye import EyeDiagram
+from ..channel.backplane import BackplaneChannel
+from ..signals.nrz import NrzEncoder
+from ..signals.prbs import prbs7
+from ..signals.waveform import Waveform
+
+__all__ = ["ScalarKnobSearch", "AdaptationResult", "adapt_equalizer",
+           "adapt_peaking", "eye_quality_metric"]
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptationResult:
+    """Outcome of a knob adaptation."""
+
+    best_setting: float
+    best_score: float
+    evaluations: int
+    history: Tuple[Tuple[float, float], ...]
+    """(setting, score) pairs in evaluation order."""
+
+
+@dataclasses.dataclass
+class ScalarKnobSearch:
+    """Derivative-free maximizer for one bounded analog knob.
+
+    Coarse grid to bracket the peak, then golden-section refinement
+    inside the bracketing interval.  Deterministic and robust to the
+    plateau/noise structure of eye metrics.
+    """
+
+    lo: float
+    hi: float
+    n_grid: int = 7
+    n_refine: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"need lo < hi, got {self.lo}, {self.hi}")
+        if self.n_grid < 3:
+            raise ValueError(f"n_grid must be >= 3, got {self.n_grid}")
+        if self.n_refine < 0:
+            raise ValueError(f"n_refine must be >= 0, got {self.n_refine}")
+
+    def maximize(self, objective: Callable[[float], float]
+                 ) -> AdaptationResult:
+        history: List[Tuple[float, float]] = []
+
+        def evaluate(x: float) -> float:
+            score = objective(x)
+            history.append((x, score))
+            return score
+
+        step = (self.hi - self.lo) / (self.n_grid - 1)
+        grid = [self.lo + i * step for i in range(self.n_grid)]
+        scores = [evaluate(x) for x in grid]
+        best_index = max(range(len(grid)), key=lambda i: scores[i])
+
+        # Bracket around the best grid point.
+        left = grid[max(0, best_index - 1)]
+        right = grid[min(len(grid) - 1, best_index + 1)]
+
+        # Golden-section refinement (maximization).
+        a, b = left, right
+        c = b - _GOLDEN * (b - a)
+        d = a + _GOLDEN * (b - a)
+        fc = evaluate(c)
+        fd = evaluate(d)
+        for _ in range(self.n_refine):
+            if fc >= fd:
+                b, d, fd = d, c, fc
+                c = b - _GOLDEN * (b - a)
+                fc = evaluate(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + _GOLDEN * (b - a)
+                fd = evaluate(d)
+
+        best_setting, best_score = max(history, key=lambda item: item[1])
+        return AdaptationResult(best_setting=best_setting,
+                                best_score=best_score,
+                                evaluations=len(history),
+                                history=tuple(history))
+
+
+def eye_quality_metric(wave: Waveform, bit_rate: float,
+                       skip_ui: int = 16) -> float:
+    """The adaptation objective: eye width minus a jitter penalty.
+
+    Width (UI) dominates; RMS jitter (UI) is subtracted so that among
+    equal-width settings the cleaner crossing wins.  Returns a large
+    negative value for waveforms whose eye cannot be measured.
+    """
+    try:
+        eye = EyeDiagram(wave, bit_rate, skip_ui=skip_ui)
+    except ValueError:
+        return -10.0
+    measurement = eye.measure()
+    if not measurement.is_open:
+        return -1.0
+    return measurement.eye_width_ui - 2.0 * eye.jitter_rms_ui()
+
+
+def _training_wave(bit_rate: float, amplitude: float,
+                   samples_per_bit: int, n_bits: int) -> Waveform:
+    encoder = NrzEncoder(bit_rate=bit_rate, samples_per_bit=samples_per_bit,
+                         amplitude=amplitude)
+    return encoder.encode(prbs7(n_bits))
+
+
+def adapt_equalizer(channel: BackplaneChannel, bit_rate: float = 10e9,
+                    amplitude: float = 0.2, samples_per_bit: int = 16,
+                    n_bits: int = 260,
+                    n_refine: int = 6) -> AdaptationResult:
+    """Adapt the equalizer's V1 against a channel.
+
+    Builds the paper's input interface at each candidate V1 and scores
+    the received eye; returns the optimum and the search history.
+    """
+    from .interface import build_input_interface
+
+    received = channel.process(
+        _training_wave(bit_rate, amplitude, samples_per_bit, n_bits)
+    )
+    probe = build_input_interface()
+    v1_lo, v1_hi = probe.equalizer.degeneration.control_range()
+    # Stay inside the triode device's useful band.
+    v1_hi = min(v1_hi, 1.2)
+
+    def objective(v1: float) -> float:
+        rx = build_input_interface(equalizer_control_voltage=v1)
+        return eye_quality_metric(rx.process(received), bit_rate)
+
+    search = ScalarKnobSearch(lo=v1_lo, hi=v1_hi, n_grid=6,
+                              n_refine=n_refine)
+    return search.maximize(objective)
+
+
+def adapt_peaking(channel: BackplaneChannel, bit_rate: float = 10e9,
+                  amplitude: float = 0.3, samples_per_bit: int = 16,
+                  n_bits: int = 260,
+                  n_refine: int = 6) -> AdaptationResult:
+    """Adapt the peaking spike height (differentiator tail current)."""
+    from .interface import build_output_interface
+
+    wave = _training_wave(bit_rate, amplitude, samples_per_bit, n_bits)
+
+    def objective(spike_current: float) -> float:
+        tx = build_output_interface(spike_current=spike_current)
+        received = channel.process(tx.process(wave))
+        metric = eye_quality_metric(received, bit_rate)
+        # Post-channel vertical opening matters for peaking; fold it in.
+        try:
+            measurement = EyeDiagram.measure_waveform(received, bit_rate,
+                                                      skip_ui=16)
+            metric += 2.0 * max(0.0, measurement.eye_height)
+        except ValueError:
+            pass
+        return metric
+
+    search = ScalarKnobSearch(lo=0.2e-3, hi=4e-3, n_grid=5,
+                              n_refine=n_refine)
+    return search.maximize(objective)

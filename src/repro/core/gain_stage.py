@@ -1,0 +1,137 @@
+"""CML gain stage with pull-up resistors (paper Fig 9).
+
+The limiting amplifier's gain cells differ from the basic buffer of
+Fig 6 in one respect the paper calls out: they use **pull-up resistors**
+"in order to get larger voltage gain" (a poly resistor has no 1/gm
+ceiling), while keeping the same wide-band tricks — active feedback
+through current buffers M3/M4 + differential pair M5/M6, and negative
+Miller capacitance.  Optionally a small active inductor can be placed in
+parallel for extra peaking (the composite load the paper's schematic
+shows).
+
+Implementation-wise this is a :class:`~repro.core.cml_buffer.CmlBuffer`
+with a resistive (or composite) load and gain-stage defaults; it exists
+as its own class because the limiting amplifier composes four of them
+and the design benches sweep their parameters independently of the I/O
+buffers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..devices.mosfet import Mosfet
+from ..devices.varactor import MosVaractor
+from .cml_buffer import CmlBuffer
+from .loads import ActiveInductorLoad, LoadElement, ParallelLoad, ResistiveLoad
+
+__all__ = ["GainStage"]
+
+
+@dataclasses.dataclass
+class GainStage:
+    """One CML gain cell of the limiting amplifier.
+
+    Parameters
+    ----------
+    input_pair:
+        The NMOS differential-pair device (per side).
+    load_resistance:
+        The pull-up resistor value.
+    tail_current:
+        Total tail current.
+    c_load_ext:
+        Capacitance presented by the next stage.
+    source_resistance:
+        Output resistance of the previous stage driving this one.
+    feedback_loop_gain:
+        Active-feedback DC loop gain (0 disables).
+    neg_miller:
+        Cross-coupled varactor pair (``None`` disables).
+    peaking_inductor:
+        Optional parallel active-inductor element for extra peaking.
+    """
+
+    input_pair: Mosfet
+    load_resistance: float
+    tail_current: float
+    c_load_ext: float = 0.0
+    source_resistance: float = 300.0
+    feedback_loop_gain: float = 1.0
+    neg_miller: Optional[MosVaractor] = None
+    peaking_inductor: Optional[ActiveInductorLoad] = None
+    name: str = "gain-stage"
+
+    def __post_init__(self) -> None:
+        if self.load_resistance <= 0:
+            raise ValueError(
+                f"load_resistance must be positive, got {self.load_resistance}"
+            )
+
+    def load(self) -> LoadElement:
+        """The composite load element."""
+        resistor = ResistiveLoad(self.load_resistance)
+        if self.peaking_inductor is None:
+            return resistor
+        return ParallelLoad((resistor, self.peaking_inductor))
+
+    def as_buffer(self) -> CmlBuffer:
+        """The underlying CML stage model."""
+        return CmlBuffer(
+            input_pair=self.input_pair,
+            load=self.load(),
+            tail_current=self.tail_current,
+            c_load_ext=self.c_load_ext,
+            source_resistance=self.source_resistance,
+            feedback_loop_gain=self.feedback_loop_gain,
+            neg_miller=self.neg_miller,
+            name=self.name,
+        )
+
+    # -- delegated metrics ---------------------------------------------------
+    @property
+    def dc_gain(self) -> float:
+        """Small-signal DC gain of the cell."""
+        return self.as_buffer().dc_gain
+
+    @property
+    def output_swing(self) -> float:
+        """Limiting amplitude I_tail * R_load."""
+        return self.as_buffer().output_swing
+
+    def small_signal_tf(self):
+        """Small-signal transfer function of the cell."""
+        return self.as_buffer().small_signal_tf()
+
+    def bandwidth_3db(self) -> float:
+        """-3 dB bandwidth of the cell in Hz."""
+        return self.as_buffer().bandwidth_3db()
+
+    def to_block(self):
+        """Behavioral simulation block with limiting."""
+        return self.as_buffer().to_block()
+
+    @property
+    def supply_current(self) -> float:
+        """Static supply current of the cell."""
+        return self.as_buffer().supply_current
+
+    # -- variants -------------------------------------------------------------
+    def without_feedback(self) -> "GainStage":
+        """Ablation: active feedback off."""
+        return dataclasses.replace(self, feedback_loop_gain=0.0)
+
+    def without_neg_miller(self) -> "GainStage":
+        """Ablation: negative Miller capacitance off."""
+        return dataclasses.replace(self, neg_miller=None)
+
+    def scaled_gain(self, resistance_factor: float) -> "GainStage":
+        """Same cell with the pull-up resistors scaled (gain knob)."""
+        if resistance_factor <= 0:
+            raise ValueError(
+                f"resistance_factor must be positive, got {resistance_factor}"
+            )
+        return dataclasses.replace(
+            self, load_resistance=self.load_resistance * resistance_factor
+        )

@@ -1,0 +1,165 @@
+"""DC-offset cancellation network (paper Fig 8).
+
+"Due to the process variation, the DC offset of the differential
+amplifier may become large enough to smear the differential output
+signal... The DC offset cancellation circuit is necessary because the
+offset voltages contributed from device and layout mismatches can become
+a problem after three stages of amplification that make the output
+signal saturation and duty-cycle distortion."
+
+The paper's network is *passive*: two series resistive branches with
+**off-chip** grounding capacitors (the only external components in the
+design) sense the output average and feed it back to the input pair in
+opposition.  Behaviorally:
+
+* the sense filter is a first-order low-pass with corner
+  ``f_lp = 1/(2 pi R C)`` — with off-chip uF-scale capacitors this is in
+  the tens-of-Hz range;
+* closing the loop around a DC gain ``A0`` suppresses output offset by
+  ``(1 + A0)`` and turns the amplifier's overall response into a
+  band-pass with a low-frequency cut-in at ``~A0 * f_lp`` — the price of
+  offset cancellation is baseline wander for data with long runs, which
+  is why the corner must sit far below the PRBS line rate.
+
+The loop time constant (seconds) is astronomically longer than a
+10 Gb/s eye simulation window (nanoseconds), so the simulator treats the
+loop *analytically*: the residual offset is computed in closed form and
+applied as a static correction, while the high-pass corner is exposed
+for the baseline-wander analysis helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..lti.transfer_function import RationalTF, first_order_lowpass
+
+__all__ = ["OffsetCancellationNetwork", "duty_cycle_distortion"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OffsetCancellationNetwork:
+    """The passive low-pass feedback network of Fig 8.
+
+    Parameters
+    ----------
+    branch_resistance:
+        Total series resistance of each sensing branch in ohms.
+    capacitance:
+        The off-chip grounding capacitance in farads.
+    sense_gain:
+        DC gain of the feedback path (1.0 for the passive divider-less
+        return used in the paper).
+    """
+
+    branch_resistance: float = 20e3
+    capacitance: float = 1e-6
+    sense_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.branch_resistance <= 0:
+            raise ValueError(
+                f"branch_resistance must be positive, got {self.branch_resistance}"
+            )
+        if self.capacitance <= 0:
+            raise ValueError(
+                f"capacitance must be positive, got {self.capacitance}"
+            )
+        if not 0 < self.sense_gain <= 1.0:
+            raise ValueError(
+                f"sense_gain must be in (0, 1], got {self.sense_gain}"
+            )
+
+    @property
+    def lowpass_corner_hz(self) -> float:
+        """Sense-filter corner 1/(2 pi R C)."""
+        return 1.0 / (2.0 * math.pi * self.branch_resistance
+                      * self.capacitance)
+
+    def sense_tf(self) -> RationalTF:
+        """The feedback path transfer function (low-pass)."""
+        return first_order_lowpass(self.lowpass_corner_hz,
+                                   gain=self.sense_gain)
+
+    # -- closed-loop consequences ------------------------------------------
+    def highpass_corner_hz(self, amplifier_dc_gain: float) -> float:
+        """Low-frequency cut-in of the offset-cancelled amplifier.
+
+        Loop transmission is ``A0 * sense`` below the sense corner, so
+        the closed-loop response falls below unity loop gain at
+        ``~(1 + A0*sense_gain) * f_lp``.
+        """
+        if amplifier_dc_gain <= 0:
+            raise ValueError(
+                f"amplifier gain must be positive, got {amplifier_dc_gain}"
+            )
+        loop = amplifier_dc_gain * self.sense_gain
+        return (1.0 + loop) * self.lowpass_corner_hz
+
+    def residual_output_offset(self, input_offset: float,
+                               amplifier_dc_gain: float) -> float:
+        """Output DC offset with the loop closed.
+
+        Open loop the output offset would be ``A0 * Vos``; the loop
+        divides it by ``(1 + A0 * sense_gain)`` — for large A0 the
+        residual approaches ``Vos / sense_gain``, i.e. roughly the
+        *input*-sized offset instead of the amplified one.
+        """
+        if amplifier_dc_gain <= 0:
+            raise ValueError(
+                f"amplifier gain must be positive, got {amplifier_dc_gain}"
+            )
+        loop = amplifier_dc_gain * self.sense_gain
+        return amplifier_dc_gain * input_offset / (1.0 + loop)
+
+    def closed_loop_tf(self, amplifier_tf: RationalTF) -> RationalTF:
+        """Full band-pass response: amplifier inside the offset loop.
+
+        Only useful for frequency-domain inspection — the corner is far
+        too slow to co-simulate with a 10 Gb/s pattern.
+        """
+        return amplifier_tf.feedback(self.sense_tf())
+
+    def baseline_wander_fraction(self, run_length_bits: int,
+                                 bit_rate: float,
+                                 amplifier_dc_gain: float) -> float:
+        """Fractional droop over a run of identical bits.
+
+        A high-pass corner ``f_hp`` droops a flat top by approximately
+        ``1 - exp(-2 pi f_hp t)`` over a run of duration ``t``.  For the
+        default network and a PRBS7 worst run (7 bits at 10 Gb/s) this is
+        a few parts in 1e5 — negligible, as the paper's design intends.
+        """
+        if run_length_bits <= 0:
+            raise ValueError(
+                f"run_length_bits must be positive, got {run_length_bits}"
+            )
+        if bit_rate <= 0:
+            raise ValueError(f"bit_rate must be positive, got {bit_rate}")
+        f_hp = self.highpass_corner_hz(amplifier_dc_gain)
+        duration = run_length_bits / bit_rate
+        return 1.0 - math.exp(-2.0 * math.pi * f_hp * duration)
+
+
+def duty_cycle_distortion(residual_offset: float, signal_amplitude: float,
+                          rise_time: float, bit_rate: float) -> float:
+    """Duty-cycle distortion (fraction of UI) caused by a DC offset.
+
+    An offset shifts the crossing point of a finite-slope edge in time:
+    with an edge slewing the full swing in ~``rise_time``, a vertical
+    shift of ``offset`` moves the crossing by
+    ``dt = offset / slope = offset * rise_time / (2*amplitude)``, and the
+    distortion is the two-edge effect ``2*dt`` expressed in UI.  This is
+    the "duty-cycle distortion" failure the offset loop exists to
+    prevent.
+    """
+    if signal_amplitude <= 0:
+        raise ValueError(
+            f"signal_amplitude must be positive, got {signal_amplitude}"
+        )
+    if rise_time < 0 or bit_rate <= 0:
+        raise ValueError("rise_time must be >= 0 and bit_rate positive")
+    slope = 2.0 * signal_amplitude / max(rise_time, 1e-15)
+    dt = abs(residual_offset) / slope
+    return 2.0 * dt * bit_rate

@@ -1,0 +1,48 @@
+"""Device substrate: the library's stand-in for the 0.18 um PDK.
+
+First-order MOS, active-inductor, varactor and passive models whose gm
+and capacitance values place every behavioral pole/zero at realistic
+GHz-scale frequencies.
+"""
+
+from .technology import Technology, TSMC180
+from .mosfet import Mosfet, nmos, pmos
+from .active_inductor import ActiveInductor
+from .varactor import MosVaractor, neutralized_input_capacitance
+from .passives import (
+    Resistor,
+    Capacitor,
+    SpiralInductor,
+    rc_lowpass_tf,
+    rl_shunt_peaking_tf,
+)
+from .mismatch import (
+    MismatchModel,
+    pair_offset_sigma,
+    chain_offset_sigma,
+    sample_offsets,
+)
+from .corners import ProcessCorner, corner_technology, all_corners
+
+__all__ = [
+    "Technology",
+    "TSMC180",
+    "Mosfet",
+    "nmos",
+    "pmos",
+    "ActiveInductor",
+    "MosVaractor",
+    "neutralized_input_capacitance",
+    "Resistor",
+    "Capacitor",
+    "SpiralInductor",
+    "rc_lowpass_tf",
+    "rl_shunt_peaking_tf",
+    "MismatchModel",
+    "pair_offset_sigma",
+    "chain_offset_sigma",
+    "sample_offsets",
+    "ProcessCorner",
+    "corner_technology",
+    "all_corners",
+]

@@ -1,0 +1,125 @@
+"""PMOS active-inductor load (the paper's key area-saving technique).
+
+The paper's CML buffers replace spiral inductors with a PMOS whose gate
+is driven through a series resistance Rg (Fig 6: "an active inductor
+formed by PMOS transistors that act as active resistors").  Looking into
+the source of such a device, the impedance is
+
+    Z(s) = (1 + s Rg Cgs) / (gm + s Cgs)
+
+* at DC: ``1/gm`` (a resistor — sets the stage gain),
+* at high frequency: ``Rg``,
+* in between (when ``Rg > 1/gm``): rising with frequency — inductive,
+  with an equivalent series inductance
+
+    L_eff = Cgs (Rg - 1/gm) / gm.
+
+Shunt peaking with this L_eff against the node capacitance is what
+broadens the CML buffer bandwidth; the PMOS width (through gm and Cgs)
+is the tuning knob the paper sweeps in Fig 7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..lti.transfer_function import RationalTF
+from .mosfet import Mosfet
+
+__all__ = ["ActiveInductor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ActiveInductor:
+    """A PMOS active-inductor load element.
+
+    Parameters
+    ----------
+    device:
+        The biased PMOS transistor acting as the load.
+    gate_resistance:
+        The series gate resistance Rg in ohms.  Must exceed ``1/gm`` for
+        the element to be inductive; the constructor does not force this
+        (a sub-critical Rg is simply a resistive load, and the Fig 7
+        sweep intentionally crosses the boundary).
+    """
+
+    device: Mosfet
+    gate_resistance: float
+
+    def __post_init__(self) -> None:
+        if self.gate_resistance <= 0:
+            raise ValueError(
+                f"gate_resistance must be positive, got {self.gate_resistance}"
+            )
+
+    # -- element values ----------------------------------------------------
+    @property
+    def r_dc(self) -> float:
+        """Low-frequency resistance 1/gm (sets CML stage DC gain)."""
+        return 1.0 / self.device.gm
+
+    @property
+    def r_hf(self) -> float:
+        """High-frequency asymptotic resistance (= Rg)."""
+        return self.gate_resistance
+
+    @property
+    def is_inductive(self) -> bool:
+        """True when Rg > 1/gm so the impedance rises with frequency."""
+        return self.gate_resistance > self.r_dc
+
+    @property
+    def l_effective(self) -> float:
+        """Equivalent series inductance Cgs (Rg - 1/gm)/gm (henries).
+
+        Zero or negative means the element is not inductive.
+        """
+        return (self.device.cgs
+                * (self.gate_resistance - self.r_dc) / self.device.gm)
+
+    @property
+    def zero_hz(self) -> float:
+        """The impedance zero 1/(2 pi Rg Cgs) — onset of inductive rise."""
+        return 1.0 / (2.0 * math.pi * self.gate_resistance * self.device.cgs)
+
+    @property
+    def pole_hz(self) -> float:
+        """The impedance pole gm/(2 pi Cgs) — end of the inductive band."""
+        return self.device.gm / (2.0 * math.pi * self.device.cgs)
+
+    # -- impedance -----------------------------------------------------------
+    def impedance_tf(self) -> RationalTF:
+        """Z(s) = (1 + s Rg Cgs) / (gm + s Cgs) as a rational function."""
+        cgs = self.device.cgs
+        num = np.array([self.gate_resistance * cgs, 1.0])
+        den = np.array([cgs, self.device.gm])
+        return RationalTF(num, den)
+
+    def impedance(self, freq_hz: np.ndarray) -> np.ndarray:
+        """Complex impedance at the given frequencies."""
+        return self.impedance_tf().response(np.asarray(freq_hz, dtype=float))
+
+    def quality_factor(self, freq_hz: float) -> float:
+        """Q = Im(Z)/Re(Z) at a frequency (zero when not inductive there)."""
+        z = complex(self.impedance(np.array([freq_hz]))[0])
+        if z.real <= 0:
+            raise ValueError("non-physical impedance with Re(Z) <= 0")
+        return max(0.0, z.imag / z.real)
+
+    def with_gate_resistance(self, gate_resistance: float) -> "ActiveInductor":
+        """Same device, different Rg (the peaking-control knob)."""
+        return dataclasses.replace(self, gate_resistance=gate_resistance)
+
+    def scaled(self, width_factor: float) -> "ActiveInductor":
+        """Scale the PMOS width (the Fig 7 sweep variable).
+
+        Width scaling at constant current density scales gm and Cgs
+        together: ``1/gm`` (hence DC gain of the stage) drops while the
+        inductive band shifts, trading gain for bandwidth exactly as the
+        paper's Fig 7(b) shows.
+        """
+        return dataclasses.replace(self, device=self.device.scaled(width_factor))

@@ -1,0 +1,55 @@
+"""Process corners: SS/TT/FF variants of the technology.
+
+The paper's robustness claims ("overcome the supply voltage and process
+variation") get exercised by rebuilding the interface on corner
+technologies: slow (low mobility, high Vth), typical, fast.  Corner
+magnitudes are the customary digital-era +-10 % mobility and -+50 mV
+threshold shifts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict
+
+from .technology import Technology, TSMC180
+
+__all__ = ["ProcessCorner", "corner_technology", "all_corners"]
+
+
+class ProcessCorner(enum.Enum):
+    """The classic three-corner set (NMOS/PMOS skewed together)."""
+
+    SLOW = "ss"
+    TYPICAL = "tt"
+    FAST = "ff"
+
+
+#: (mobility factor, threshold shift in volts) per corner.
+_CORNER_SHIFTS: Dict[ProcessCorner, tuple] = {
+    ProcessCorner.SLOW: (0.90, +0.05),
+    ProcessCorner.TYPICAL: (1.00, 0.0),
+    ProcessCorner.FAST: (1.10, -0.05),
+}
+
+
+def corner_technology(corner: ProcessCorner,
+                      base: Technology = TSMC180) -> Technology:
+    """The technology description skewed to a process corner."""
+    mobility, vth_shift = _CORNER_SHIFTS[corner]
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-{corner.value}",
+        u_n_cox=base.u_n_cox * mobility,
+        u_p_cox=base.u_p_cox * mobility,
+        vth_n=base.vth_n + vth_shift,
+        vth_p=base.vth_p + vth_shift,
+    )
+
+
+def all_corners(base: Technology = TSMC180) -> Dict[ProcessCorner,
+                                                    Technology]:
+    """All three corner technologies keyed by corner."""
+    return {corner: corner_technology(corner, base)
+            for corner in ProcessCorner}

@@ -1,0 +1,119 @@
+"""0.18 um CMOS process constants.
+
+The paper's circuits are designed in a 1.8 V 0.18 um CMOS technology
+(TSMC).  We do not have the PDK; this module encodes the textbook-level
+process parameters for that node (as published in design literature for
+generic 0.18 um processes) with first-order temperature scaling.  Every
+pole/zero the behavioral circuit models place is derived from the gm and
+capacitance values these constants produce, which is what puts them at
+the right GHz-scale frequencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .._units import MICRO, NANO, ROOM_TEMPERATURE
+
+__all__ = ["Technology", "TSMC180"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """A CMOS process node description.
+
+    All values are at the nominal temperature ``t_nom`` (kelvin); the
+    accessor methods apply first-order temperature scaling:
+
+    * mobility: ``mu(T) = mu0 * (T / T0)**mobility_exponent``
+    * threshold: ``vth(T) = vth0 + tc_vth * (T - T0)``
+    """
+
+    name: str
+    l_min: float
+    """Minimum drawn channel length in metres."""
+    vdd: float
+    """Nominal supply voltage in volts."""
+    u_n_cox: float
+    """NMOS process transconductance mu_n*Cox in A/V^2."""
+    u_p_cox: float
+    """PMOS process transconductance mu_p*Cox in A/V^2."""
+    vth_n: float
+    """NMOS threshold voltage in volts (positive)."""
+    vth_p: float
+    """PMOS threshold magnitude in volts (positive by convention)."""
+    cox_per_area: float
+    """Gate-oxide capacitance per unit area in F/m^2."""
+    c_overlap_per_width: float
+    """Gate-drain/source overlap capacitance per unit width in F/m."""
+    e_sat: float
+    """Velocity-saturation critical field in V/m."""
+    lambda_per_length: float
+    """Channel-length modulation: lambda = lambda_per_length / L (1/V)."""
+    t_nom: float = ROOM_TEMPERATURE
+    mobility_exponent: float = -1.5
+    tc_vth: float = -1.0e-3
+    """Threshold temperature coefficient in V/K (~ -1 mV/K)."""
+
+    def __post_init__(self) -> None:
+        for field in ("l_min", "vdd", "u_n_cox", "u_p_cox", "vth_n", "vth_p",
+                      "cox_per_area", "c_overlap_per_width", "e_sat",
+                      "lambda_per_length", "t_nom"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    # -- temperature-scaled parameters -------------------------------------
+    def mobility_factor(self, temperature_k: float) -> float:
+        """Relative mobility mu(T)/mu(t_nom)."""
+        if temperature_k <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature_k}")
+        return (temperature_k / self.t_nom) ** self.mobility_exponent
+
+    def u_cox(self, is_nmos: bool, temperature_k: float | None = None) -> float:
+        """mu*Cox for the requested device type at temperature."""
+        base = self.u_n_cox if is_nmos else self.u_p_cox
+        if temperature_k is None:
+            return base
+        return base * self.mobility_factor(temperature_k)
+
+    def vth(self, is_nmos: bool, temperature_k: float | None = None) -> float:
+        """Threshold magnitude at temperature (always positive)."""
+        base = self.vth_n if is_nmos else self.vth_p
+        if temperature_k is None:
+            return base
+        return base + self.tc_vth * (temperature_k - self.t_nom)
+
+    def v_sat_overdrive(self, length: float) -> float:
+        """Overdrive at which velocity saturation takes over: E_sat * L.
+
+        For L = 0.18 um this is ~0.7-0.9 V: short-channel devices in this
+        library operate partially velocity-saturated, softening gm below
+        the square-law prediction.
+        """
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        return self.e_sat * length
+
+    def channel_lambda(self, length: float) -> float:
+        """Channel-length modulation parameter lambda (1/V) for length L."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        return self.lambda_per_length / length
+
+
+#: Generic 0.18 um, 1.8 V process (textbook values for the TSMC node the
+#: paper used).  u_n_cox ~ 300 uA/V^2, u_p_cox ~ 70 uA/V^2, tox ~ 4.1 nm
+#: => Cox ~ 8.4 fF/um^2, |Vth| ~ 0.45 V.
+TSMC180 = Technology(
+    name="generic-0.18um-1.8V",
+    l_min=0.18 * MICRO,
+    vdd=1.8,
+    u_n_cox=300e-6,
+    u_p_cox=70e-6,
+    vth_n=0.45,
+    vth_p=0.45,
+    cox_per_area=8.4e-3,            # F/m^2  (= 8.4 fF/um^2)
+    c_overlap_per_width=0.35 * NANO,  # 0.35 fF/um = 3.5e-10 F/m
+    e_sat=4.0e6,                    # V/m -> E_sat*L ~ 0.72 V at 0.18 um
+    lambda_per_length=0.02 * MICRO,  # lambda ~ 0.11 /V at L = 0.18 um
+)

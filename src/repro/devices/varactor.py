@@ -1,0 +1,107 @@
+"""Accumulation-mode MOS varactors (negative Miller capacitance devices).
+
+The paper's CML buffer uses transistors M7/M8 cross-coupled from each
+output to the opposite input as *negative Miller capacitors*: "with a
+gate-source voltage near zero, these devices are realized as
+accumulation-mode MOS varactors to obtain a larger fraction of the gate
+oxide capacitance and better tracking."
+
+A cross-coupled capacitor C_n from the inverting output back to the
+input contributes a Miller-transformed input capacitance
+
+    C_in_extra = C_n (1 - A_v)   with A_v negative-signed as +|A|
+               = -C_n (|A| - 1)
+
+i.e. it *subtracts* from the ordinary Miller-multiplied Cgd of the input
+pair, which is the input-pole relief the paper exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .technology import Technology, TSMC180
+
+__all__ = ["MosVaractor", "neutralized_input_capacitance"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MosVaractor:
+    """An accumulation-mode MOS varactor.
+
+    The C-V characteristic is modeled as a smooth transition between the
+    depleted minimum (``c_min_fraction`` of the oxide capacitance) and
+    the accumulated maximum (``c_max_fraction``), centred at
+    ``v_flatband`` with a transition width ``v_transition``:
+
+        C(V) = Cmin + (Cmax - Cmin) * 0.5*(1 + tanh((V - Vfb)/Vt))
+
+    Near ``Vgs = 0`` with a small negative flatband, the device sits high
+    on this curve — the "larger fraction of the gate oxide capacitance"
+    the paper quotes.
+    """
+
+    width: float
+    length: float
+    tech: Technology = TSMC180
+    c_max_fraction: float = 0.9
+    c_min_fraction: float = 0.3
+    v_flatband: float = -0.2
+    v_transition: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("varactor dimensions must be positive")
+        if not 0 < self.c_min_fraction < self.c_max_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < c_min_fraction < c_max_fraction <= 1, got "
+                f"{self.c_min_fraction}, {self.c_max_fraction}"
+            )
+        if self.v_transition <= 0:
+            raise ValueError(
+                f"v_transition must be positive, got {self.v_transition}"
+            )
+
+    @property
+    def c_oxide(self) -> float:
+        """Full oxide capacitance W*L*Cox — the physical ceiling."""
+        return self.width * self.length * self.tech.cox_per_area
+
+    def capacitance(self, vgs: float | np.ndarray) -> float | np.ndarray:
+        """C(Vgs) from the smooth accumulation model."""
+        c_min = self.c_min_fraction * self.c_oxide
+        c_max = self.c_max_fraction * self.c_oxide
+        x = (np.asarray(vgs, dtype=float) - self.v_flatband) / self.v_transition
+        c = c_min + (c_max - c_min) * 0.5 * (1.0 + np.tanh(x))
+        if np.isscalar(vgs):
+            return float(c)
+        return c
+
+    def capacitance_at_zero_bias(self) -> float:
+        """C at Vgs = 0 — the operating point in the CML buffer."""
+        return float(self.capacitance(0.0))
+
+    def tuning_ratio(self) -> float:
+        """Cmax/Cmin of the modeled characteristic."""
+        return self.c_max_fraction / self.c_min_fraction
+
+
+def neutralized_input_capacitance(c_gd: float, c_neutralize: float,
+                                  voltage_gain: float) -> float:
+    """Effective input capacitance of a stage with cross-coupled varactors.
+
+    ``c_gd`` Miller-multiplies by ``(1 + |A|)``; a cross-coupled
+    ``c_neutralize`` to the *opposite* (inverted) output contributes
+    ``c_neutralize * (1 - |A|)`` — negative for |A| > 1.  Perfect
+    neutralization happens at ``c_neutralize = c_gd``; the return value
+    is floored at zero because a net-negative node capacitance is not
+    physical (it would mean the model is outside its validity range).
+    """
+    if c_gd < 0 or c_neutralize < 0:
+        raise ValueError("capacitances must be non-negative")
+    a = abs(voltage_gain)
+    miller = c_gd * (1.0 + a)
+    relief = c_neutralize * (a - 1.0)
+    return max(0.0, miller - relief)

@@ -1,0 +1,108 @@
+"""AC coupling and baseline wander.
+
+Backplane links of the paper's class are AC-coupled: series capacitors
+between the driver and the receiver block the DC level, forming a
+high-pass with the 50-ohm termination:
+
+    f_hp = 1 / (2 pi (R_term) C_couple)
+
+DC-unbalanced data then droops ("baseline wander") across long runs —
+the system-level reason 8b/10b coding (bounded disparity) exists, and a
+constraint the receive path's offset-cancellation corner must respect.
+This block models the coupling network so those interactions can be
+simulated rather than asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..signals.waveform import Waveform
+from .blocks import Block
+from .discretize import simulate_tf
+from .transfer_function import RationalTF
+
+__all__ = ["AcCoupling", "worst_case_wander_fraction"]
+
+
+@dataclasses.dataclass
+class AcCoupling(Block):
+    """A series coupling capacitor into a resistive termination.
+
+    Parameters
+    ----------
+    capacitance:
+        The coupling capacitor (typically 10-100 nF on a backplane).
+    termination:
+        The resistance the capacitor drives (50 ohm single-ended;
+        100 ohm differential uses the differential value).
+    """
+
+    capacitance: float = 100e-9
+    termination: float = 50.0
+    name: str = "ac-coupling"
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError(
+                f"capacitance must be positive, got {self.capacitance}"
+            )
+        if self.termination <= 0:
+            raise ValueError(
+                f"termination must be positive, got {self.termination}"
+            )
+
+    @property
+    def highpass_corner_hz(self) -> float:
+        """The coupling high-pass corner 1/(2 pi R C)."""
+        return 1.0 / (2.0 * math.pi * self.termination * self.capacitance)
+
+    def transfer_function(self) -> RationalTF:
+        """H(s) = sRC / (1 + sRC)."""
+        rc = self.termination * self.capacitance
+        return RationalTF(np.array([rc, 0.0]), np.array([rc, 1.0]))
+
+    def process(self, wave: Waveform) -> Waveform:
+        """Apply the coupling high-pass.
+
+        For corners far below the simulation window the droop per run is
+        applied analytically per sample via the exact first-order
+        recursion (the bilinear filter would need astronomically long
+        warm-up); the recursion *is* the exact solution, so this is not
+        an approximation.
+        """
+        corner = self.highpass_corner_hz
+        # Exact recursive high-pass: y[n] = a(y[n-1] + x[n] - x[n-1]).
+        a = math.exp(-2.0 * math.pi * corner / wave.sample_rate)
+        if a > 1.0 - 1e-12:
+            # Corner so low the window sees no droop: passthrough minus
+            # the initial DC (the capacitor charges to the idle level).
+            return wave.with_data(wave.data - wave.data[0])
+        tf = self.transfer_function()
+        out = simulate_tf(tf, wave.data, wave.sample_rate)
+        return wave.with_data(out)
+
+    def droop_over(self, run_seconds: float) -> float:
+        """Fractional amplitude droop across a constant run."""
+        if run_seconds < 0:
+            raise ValueError(f"run must be >= 0, got {run_seconds}")
+        return 1.0 - math.exp(-2.0 * math.pi * self.highpass_corner_hz
+                              * run_seconds)
+
+
+def worst_case_wander_fraction(coupling: AcCoupling, bit_rate: float,
+                               max_run_bits: int) -> float:
+    """Baseline wander for a coding scheme's worst run.
+
+    8b/10b bounds runs at 5 bits; an uncoded PRBS31 can run 31 bits; a
+    pathological payload can run arbitrarily long.  This helper turns a
+    coding choice into a wander budget number.
+    """
+    if bit_rate <= 0:
+        raise ValueError(f"bit_rate must be positive, got {bit_rate}")
+    if max_run_bits < 1:
+        raise ValueError(f"max_run_bits must be >= 1, got {max_run_bits}")
+    return coupling.droop_over(max_run_bits / bit_rate)

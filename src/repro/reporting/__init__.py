@@ -1,0 +1,14 @@
+"""Reporting helpers: ASCII figure rendering and table formatting used
+by the benchmark harness to regenerate the paper's tables and figures.
+"""
+
+from .ascii_plots import render_eye, render_gain_curve, render_waveform
+from .tables import format_table, format_comparison
+
+__all__ = [
+    "render_eye",
+    "render_gain_curve",
+    "render_waveform",
+    "format_table",
+    "format_comparison",
+]

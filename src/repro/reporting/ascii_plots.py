@@ -1,0 +1,111 @@
+"""ASCII rendering of eyes and frequency responses.
+
+The benches regenerate the paper's *figures*; in a terminal-only
+environment the closest faithful rendering is character art: eye
+diagrams as 2-D density maps (the scope persistence view) and gain
+curves as log-frequency line plots.  These renderers are deterministic
+and dependency-free so bench output can be diffed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.eye import EyeDiagram
+
+__all__ = ["render_eye", "render_gain_curve", "render_waveform"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_eye(eye: EyeDiagram, width: int = 64, height: int = 20,
+               title: Optional[str] = None) -> str:
+    """Render an eye diagram as an ASCII density plot.
+
+    Each folded two-UI trace is rasterized onto a ``width x height``
+    grid; cell darkness encodes hit density, like scope persistence.
+    """
+    if width < 16 or height < 8:
+        raise ValueError("rendering grid too small (min 16x8)")
+    traces = eye.two_ui_traces()
+    v_max = float(np.max(traces))
+    v_min = float(np.min(traces))
+    span = v_max - v_min
+    if span <= 0:
+        span = 1.0
+    grid = np.zeros((height, width))
+    n_cols = traces.shape[1]
+    x_positions = np.linspace(0, width - 1, n_cols).astype(int)
+    for trace in traces:
+        rows = ((v_max - trace) / span * (height - 1)).astype(int)
+        rows = np.clip(rows, 0, height - 1)
+        grid[rows, x_positions] += 1.0
+    peak = grid.max()
+    if peak > 0:
+        grid = grid / peak
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        chars = [_SHADES[int(v * (len(_SHADES) - 1))] for v in row]
+        lines.append("".join(chars))
+    lines.append(f"{'0':<{width // 2}}{'1 UI':>{width // 2}}")
+    lines.append(f"v: {v_min * 1e3:+.1f} .. {v_max * 1e3:+.1f} mV, "
+                 f"{traces.shape[0]} traces")
+    return "\n".join(lines)
+
+
+def render_gain_curve(freqs_hz: Sequence[float], gains_db: Sequence[float],
+                      width: int = 64, height: int = 16,
+                      title: Optional[str] = None) -> str:
+    """Render gain-vs-frequency as an ASCII line plot (log-x)."""
+    freqs = np.asarray(freqs_hz, dtype=float)
+    gains = np.asarray(gains_db, dtype=float)
+    if freqs.shape != gains.shape or freqs.size < 2:
+        raise ValueError("need matching frequency/gain arrays (>= 2 points)")
+    if np.any(freqs <= 0):
+        raise ValueError("frequencies must be positive for a log axis")
+    log_f = np.log10(freqs)
+    x = ((log_f - log_f.min()) / max(np.ptp(log_f), 1e-12)
+         * (width - 1)).astype(int)
+    g_min, g_max = float(gains.min()), float(gains.max())
+    span = max(g_max - g_min, 1e-9)
+    y = ((g_max - gains) / span * (height - 1)).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        grid[yi][xi] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = g_max - i * span / (height - 1)
+        lines.append(f"{label:7.1f} |" + "".join(row))
+    lines.append(" " * 9 + f"{freqs.min():.2e} Hz ... {freqs.max():.2e} Hz")
+    return "\n".join(lines)
+
+
+def render_waveform(time_s: Sequence[float], volts: Sequence[float],
+                    width: int = 72, height: int = 14,
+                    title: Optional[str] = None) -> str:
+    """Render a time-domain waveform segment as ASCII."""
+    t = np.asarray(time_s, dtype=float)
+    v = np.asarray(volts, dtype=float)
+    if t.shape != v.shape or t.size < 2:
+        raise ValueError("need matching time/voltage arrays (>= 2 points)")
+    x = ((t - t.min()) / max(np.ptp(t), 1e-30) * (width - 1)).astype(int)
+    v_min, v_max = float(v.min()), float(v.max())
+    span = max(v_max - v_min, 1e-12)
+    y = ((v_max - v) / span * (height - 1)).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        grid[yi][xi] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append(f"t: {t.min() * 1e9:.2f}..{t.max() * 1e9:.2f} ns, "
+                 f"v: {v_min * 1e3:+.1f}..{v_max * 1e3:+.1f} mV")
+    return "\n".join(lines)

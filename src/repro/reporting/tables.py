@@ -1,0 +1,59 @@
+"""Plain-text table formatting for bench output.
+
+Benches print the same rows the paper's Table I reports; this module
+renders row-dictionaries into aligned monospace tables without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Sequence[str] | None = None) -> str:
+    """Render row dictionaries as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first
+    row are used.
+    """
+    if not rows:
+        raise ValueError("no rows to format")
+    if columns is None:
+        columns = list(rows[0].keys())
+    headers = list(columns)
+    body: List[List[str]] = [
+        [_cell(row.get(col, "")) for col in headers] for row in rows
+    ]
+    widths = [max(len(headers[i]), *(len(line[i]) for line in body))
+              for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for line in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(label_a: str, label_b: str,
+                      metrics: Dict[str, tuple]) -> str:
+    """Render an A-vs-B comparison: metric -> (value_a, value_b).
+
+    Used by ablation benches ("without equalizer" vs "with equalizer").
+    """
+    rows = [
+        {"metric": name, label_a: pair[0], label_b: pair[1]}
+        for name, pair in metrics.items()
+    ]
+    return format_table(rows, columns=["metric", label_a, label_b])

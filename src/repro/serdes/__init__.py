@@ -1,0 +1,36 @@
+"""SERDES framing: the switch-fabric context of the paper's Fig 1.
+
+8b/10b line coding (run-length/DC-balance guarantees for the CDR and
+the AC-coupled CML path), serializer/deserializer with K28.5 comma
+alignment, and a full framed-link runner.
+"""
+
+from .encoding import (
+    Encoder8b10b,
+    Decoder8b10b,
+    K28_5,
+    encode_bytes,
+    decode_bits,
+    CodingError,
+)
+from .serializer import (
+    Serializer,
+    Deserializer,
+    align_to_comma,
+    LinkReport,
+    run_link,
+)
+
+__all__ = [
+    "Encoder8b10b",
+    "Decoder8b10b",
+    "K28_5",
+    "encode_bytes",
+    "decode_bits",
+    "CodingError",
+    "Serializer",
+    "Deserializer",
+    "align_to_comma",
+    "LinkReport",
+    "run_link",
+]

@@ -1,0 +1,52 @@
+"""Stimulus substrate: waveforms, PRBS patterns, NRZ coding, jitter, noise.
+
+This package replaces the paper's pattern-generator instrumentation: it
+produces the 2^7-1 PRBS NRZ stimulus at 10 Gb/s (with realistic rise
+time, jitter and noise) that every eye-diagram experiment consumes.
+"""
+
+from .waveform import Waveform, DifferentialWaveform
+from .prbs import (
+    PrbsGenerator,
+    prbs_sequence,
+    prbs7,
+    prbs9,
+    prbs15,
+    prbs23,
+    prbs31,
+    alternating_pattern,
+    run_length_histogram,
+)
+from .nrz import NrzEncoder, bits_to_nrz, ideal_square_wave
+from .jitter import (
+    RandomJitter,
+    SinusoidalJitter,
+    JitterBudget,
+    dual_dirac_total_jitter,
+)
+from .noise import WhiteNoise, thermal_noise_rms, add_awgn, snr_db
+
+__all__ = [
+    "Waveform",
+    "DifferentialWaveform",
+    "PrbsGenerator",
+    "prbs_sequence",
+    "prbs7",
+    "prbs9",
+    "prbs15",
+    "prbs23",
+    "prbs31",
+    "alternating_pattern",
+    "run_length_histogram",
+    "NrzEncoder",
+    "bits_to_nrz",
+    "ideal_square_wave",
+    "RandomJitter",
+    "SinusoidalJitter",
+    "JitterBudget",
+    "dual_dirac_total_jitter",
+    "WhiteNoise",
+    "thermal_noise_rms",
+    "add_awgn",
+    "snr_db",
+]

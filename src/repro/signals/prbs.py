@@ -1,0 +1,156 @@
+"""Pseudo-random binary sequence (PRBS) generation.
+
+The paper's eye-diagram experiments (Figs 14-16) all use a 2^7 - 1 PRBS
+pattern at 10 Gb/s.  This module implements the standard ITU-T linear
+feedback shift register (LFSR) patterns via their characteristic
+polynomials, plus a couple of deterministic utility patterns used by
+tests and benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PrbsGenerator",
+    "prbs_sequence",
+    "prbs7",
+    "prbs9",
+    "prbs15",
+    "prbs23",
+    "prbs31",
+    "alternating_pattern",
+    "run_length_histogram",
+]
+
+# Characteristic polynomial taps (x^a + x^b + 1) for the standard PRBS
+# orders: a is the register length, and feedback XORs bits a and b.
+_STANDARD_TAPS: Dict[int, Tuple[int, int]] = {
+    7: (7, 6),
+    9: (9, 5),
+    11: (11, 9),
+    15: (15, 14),
+    20: (20, 3),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+@dataclasses.dataclass
+class PrbsGenerator:
+    """Maximal-length LFSR PRBS generator.
+
+    Parameters
+    ----------
+    order:
+        Register length; the sequence repeats every ``2**order - 1`` bits.
+        Must be one of the standard ITU-T orders (7, 9, 11, 15, 20, 23, 31).
+    seed:
+        Initial register contents; any nonzero value modulo ``2**order``.
+    """
+
+    order: int
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.order not in _STANDARD_TAPS:
+            raise ValueError(
+                f"unsupported PRBS order {self.order}; "
+                f"supported: {sorted(_STANDARD_TAPS)}"
+            )
+        mask = (1 << self.order) - 1
+        state = self.seed & mask
+        if state == 0:
+            raise ValueError("seed must be nonzero modulo 2**order")
+        self._state = state
+        self._mask = mask
+        self._tap_a, self._tap_b = _STANDARD_TAPS[self.order]
+
+    @property
+    def period(self) -> int:
+        """Length of the repeating sequence, ``2**order - 1``."""
+        return (1 << self.order) - 1
+
+    def next_bit(self) -> int:
+        """Advance the LFSR one step and return the output bit (0/1)."""
+        bit_a = (self._state >> (self._tap_a - 1)) & 1
+        bit_b = (self._state >> (self._tap_b - 1)) & 1
+        feedback = bit_a ^ bit_b
+        self._state = ((self._state << 1) | feedback) & self._mask
+        return bit_a
+
+    def bits(self, count: int) -> np.ndarray:
+        """Return the next ``count`` bits as a 0/1 integer array."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out = np.empty(count, dtype=np.int8)
+        for i in range(count):
+            out[i] = self.next_bit()
+        return out
+
+    def full_period(self) -> np.ndarray:
+        """Return one complete period of the sequence."""
+        return self.bits(self.period)
+
+
+def prbs_sequence(order: int, n_bits: int, seed: int = 1) -> np.ndarray:
+    """Return ``n_bits`` of the standard PRBS of the given order."""
+    return PrbsGenerator(order=order, seed=seed).bits(n_bits)
+
+
+def prbs7(n_bits: int, seed: int = 1) -> np.ndarray:
+    """2^7 - 1 PRBS — the pattern used throughout the paper's figures."""
+    return prbs_sequence(7, n_bits, seed)
+
+
+def prbs9(n_bits: int, seed: int = 1) -> np.ndarray:
+    """2^9 - 1 PRBS."""
+    return prbs_sequence(9, n_bits, seed)
+
+
+def prbs15(n_bits: int, seed: int = 1) -> np.ndarray:
+    """2^15 - 1 PRBS."""
+    return prbs_sequence(15, n_bits, seed)
+
+
+def prbs23(n_bits: int, seed: int = 1) -> np.ndarray:
+    """2^23 - 1 PRBS."""
+    return prbs_sequence(23, n_bits, seed)
+
+
+def prbs31(n_bits: int, seed: int = 1) -> np.ndarray:
+    """2^31 - 1 PRBS."""
+    return prbs_sequence(31, n_bits, seed)
+
+
+def alternating_pattern(n_bits: int) -> np.ndarray:
+    """A 1010... clock-like pattern (the fastest toggling stimulus).
+
+    Used by the active-inductor bench: a 101010 pattern at 10 Gb/s is a
+    5 GHz square wave, the stress case for buffer bandwidth.
+    """
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    return (np.arange(n_bits) % 2).astype(np.int8)
+
+
+def run_length_histogram(bits: np.ndarray) -> Dict[int, int]:
+    """Histogram of run lengths in a bit sequence.
+
+    A maximal-length PRBS of order *n* contains exactly one run of
+    length *n* (of ones) and one of length *n - 1* (of zeros) per period;
+    tests use this as a structural check of the generator.
+    """
+    bits = np.asarray(bits)
+    if bits.size == 0:
+        return {}
+    change = np.flatnonzero(np.diff(bits) != 0)
+    edges = np.concatenate(([0], change + 1, [bits.size]))
+    lengths = np.diff(edges)
+    histogram: Dict[int, int] = {}
+    for length in lengths:
+        histogram[int(length)] = histogram.get(int(length), 0) + 1
+    return histogram

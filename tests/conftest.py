@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's default design point and fast stimuli.
+
+Simulation fixtures use modest oversampling (16 samples/bit) and short
+PRBS repeats so the whole suite stays fast while still exercising the
+full signal paths.
+"""
+
+import pytest
+
+from repro import (
+    BackplaneChannel,
+    bits_to_nrz,
+    build_input_interface,
+    build_io_interface,
+    build_output_interface,
+    prbs7,
+)
+
+BIT_RATE = 10e9
+SAMPLES_PER_BIT = 16
+N_BITS = 280
+
+
+@pytest.fixture(scope="session")
+def rx_interface():
+    """The paper's input interface (equalizer + limiting amplifier)."""
+    return build_input_interface()
+
+
+@pytest.fixture(scope="session")
+def tx_interface():
+    """The paper's output interface (driver + voltage peaking)."""
+    return build_output_interface()
+
+
+@pytest.fixture(scope="session")
+def io_link():
+    """The complete link with a 0.3 m backplane channel."""
+    return build_io_interface(channel=BackplaneChannel(0.3))
+
+
+@pytest.fixture(scope="session")
+def channel():
+    """A 0.5 m FR-4 backplane (~13 dB at Nyquist)."""
+    return BackplaneChannel(0.5)
+
+
+@pytest.fixture(scope="session")
+def prbs_wave():
+    """PRBS7 NRZ at 10 Gb/s, 250 mV pp differential."""
+    return bits_to_nrz(prbs7(N_BITS), BIT_RATE, amplitude=0.25,
+                       samples_per_bit=SAMPLES_PER_BIT)
+
+
+@pytest.fixture(scope="session")
+def small_wave():
+    """PRBS7 NRZ at the paper's 4 mV sensitivity point."""
+    return bits_to_nrz(prbs7(N_BITS), BIT_RATE, amplitude=0.004,
+                       samples_per_bit=SAMPLES_PER_BIT)

@@ -1,0 +1,90 @@
+"""Knob adaptation: scalar search and the equalizer/peaking adapters."""
+
+import math
+
+import pytest
+
+from repro.channel import BackplaneChannel
+from repro.core import (
+    ScalarKnobSearch,
+    adapt_equalizer,
+    adapt_peaking,
+    eye_quality_metric,
+)
+from repro.signals import bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+# -- scalar search -----------------------------------------------------------
+
+def test_search_finds_parabola_peak():
+    search = ScalarKnobSearch(lo=0.0, hi=10.0, n_grid=7, n_refine=20)
+    result = search.maximize(lambda x: -(x - 3.7) ** 2)
+    assert result.best_setting == pytest.approx(3.7, abs=0.05)
+    assert result.evaluations == 7 + 2 + 20
+
+
+def test_search_handles_edge_maximum():
+    search = ScalarKnobSearch(lo=0.0, hi=1.0, n_refine=10)
+    result = search.maximize(lambda x: x)  # monotone: peak at hi
+    assert result.best_setting == pytest.approx(1.0, abs=0.1)
+
+
+def test_search_history_records_everything():
+    search = ScalarKnobSearch(lo=0.0, hi=1.0, n_grid=5, n_refine=3)
+    result = search.maximize(lambda x: math.sin(3 * x))
+    assert len(result.history) == result.evaluations
+    best = max(result.history, key=lambda item: item[1])
+    assert best[1] == result.best_score
+
+
+def test_search_validation():
+    with pytest.raises(ValueError):
+        ScalarKnobSearch(lo=1.0, hi=0.0)
+    with pytest.raises(ValueError):
+        ScalarKnobSearch(lo=0.0, hi=1.0, n_grid=2)
+    with pytest.raises(ValueError):
+        ScalarKnobSearch(lo=0.0, hi=1.0, n_refine=-1)
+
+
+# -- metric -----------------------------------------------------------------
+
+def test_metric_ranks_clean_above_degraded():
+    clean = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.3,
+                        samples_per_bit=16)
+    degraded = BackplaneChannel(0.6).process(clean)
+    assert eye_quality_metric(clean, BIT_RATE) \
+        > eye_quality_metric(degraded, BIT_RATE)
+
+
+def test_metric_penalizes_unmeasurable_waves():
+    from repro.signals import Waveform
+    import numpy as np
+
+    flat = Waveform(np.zeros(200), 160e9)
+    assert eye_quality_metric(flat, BIT_RATE) < 0
+
+
+# -- adapters -----------------------------------------------------------
+
+def test_equalizer_adaptation_prefers_boost_on_lossy_channel():
+    result = adapt_equalizer(BackplaneChannel(0.5), n_refine=3)
+    # ~13 dB of Nyquist loss wants strong equalization: V1 near the
+    # bottom of its range (maximum boost).
+    assert result.best_setting < 0.75
+    assert result.best_score > 0.6  # a healthy reopened eye
+
+
+def test_equalizer_adaptation_relaxed_on_short_channel():
+    lossy = adapt_equalizer(BackplaneChannel(0.55), n_refine=3)
+    mild = adapt_equalizer(BackplaneChannel(0.1), n_refine=3)
+    # The mild channel needs less boost => higher (or equal) optimum V1.
+    assert mild.best_setting >= lossy.best_setting - 0.05
+    assert mild.best_score >= lossy.best_score
+
+
+def test_peaking_adaptation_finds_nonzero_spike():
+    result = adapt_peaking(BackplaneChannel(0.5), n_refine=3)
+    assert 0.2e-3 <= result.best_setting <= 4e-3
+    assert result.best_setting > 0.4e-3  # lossy channel wants peaking

@@ -1,0 +1,119 @@
+"""Beta-multiplier voltage reference: the paper's three claims."""
+
+import pytest
+
+from repro._units import celsius_to_kelvin
+from repro.core import BetaMultiplierReference
+
+
+@pytest.fixture(scope="module")
+def bmvr():
+    return BetaMultiplierReference()
+
+
+def test_reference_voltage_is_vth_plus_vov(bmvr):
+    v = bmvr.reference_voltage()
+    assert bmvr.tech.vth_n < v < bmvr.tech.vdd / 2
+
+
+def test_bias_current_formula(bmvr):
+    # I = 2 (1 - 1/sqrt(K))^2 / (beta R^2), K = 4 -> (1/2)^2.
+    current = bmvr.bias_current()
+    beta = bmvr.tech.u_n_cox * bmvr.width / bmvr.length
+    expected = 2 * 0.25 / (beta * bmvr.resistance**2)
+    assert current == pytest.approx(expected)
+
+
+def test_temperature_coefficient_below_550ppm(bmvr):
+    # The paper: "maintaining a temperature coefficient below 550 ppm/C".
+    assert bmvr.temperature_coefficient_ppm(-40.0, 125.0) < 550.0
+
+
+def test_tc_compensation_mechanism():
+    # Without the resistor TC the drift is much worse: the compensation
+    # is real, not accidental.
+    import dataclasses
+
+    uncompensated = BetaMultiplierReference(resistance_tc=0.0)
+    compensated = BetaMultiplierReference()
+    assert compensated.temperature_coefficient_ppm() \
+        < uncompensated.temperature_coefficient_ppm()
+    del dataclasses
+
+
+def test_supply_sensitivity_below_26mv_per_v(bmvr):
+    # The paper: "power supply sensitivity under 26 mV/V".
+    assert bmvr.supply_sensitivity_mv_per_v(1.6, 2.0) < 26.0
+
+
+def test_supply_sensitivity_measured_matches_model(bmvr):
+    assert bmvr.supply_sensitivity_mv_per_v() == pytest.approx(
+        bmvr.supply_sensitivity * 1e3, rel=1e-6
+    )
+
+
+def test_trim_within_10mv(bmvr):
+    # The paper: "tuned to within 10 mV of a desired value".
+    nominal = bmvr.reference_voltage()
+    for offset in (-0.025, -0.01, 0.0, 0.01, 0.025):
+        _, error = bmvr.trim_to(nominal + offset)
+        assert abs(error) <= 10e-3
+
+
+def test_trim_codes_are_monotone(bmvr):
+    volts = [ref.reference_voltage() for ref in bmvr.trim_codes(4)]
+    assert volts == sorted(volts)
+
+
+def test_trimmed_scales_resistance(bmvr):
+    up = bmvr.trimmed(1.05)
+    assert up.resistance == pytest.approx(1.05 * bmvr.resistance)
+    with pytest.raises(ValueError):
+        bmvr.trimmed(0.0)
+
+
+def test_tail_current_stable_over_temperature(bmvr):
+    # Beta-multiplier bias is mildly PTAT (constant-gm, not constant-I):
+    # tails stay within ~20 % from -40 to 125 C, versus the ~2x swing an
+    # unregulated square-law bias would suffer.
+    nominal = 2e-3
+    cold = bmvr.tail_current_for(nominal, celsius_to_kelvin(-40.0))
+    hot = bmvr.tail_current_for(nominal, celsius_to_kelvin(125.0))
+    assert cold == pytest.approx(nominal, rel=0.20)
+    assert hot == pytest.approx(nominal, rel=0.20)
+
+
+def test_constant_gm_property(bmvr):
+    # The mirrored gm depends only on R: at fixed R it is temperature
+    # independent by construction.
+    gm = bmvr.mirrored_gm()
+    assert gm == pytest.approx(2 * 0.5 / bmvr.resistance)
+    with pytest.raises(ValueError):
+        bmvr.mirrored_gm(0.0)
+
+
+def test_tail_current_stable_over_supply(bmvr):
+    nominal = 2e-3
+    low = bmvr.tail_current_for(nominal, vdd=1.6)
+    high = bmvr.tail_current_for(nominal, vdd=2.0)
+    assert low == pytest.approx(nominal, rel=0.15)
+    assert high == pytest.approx(nominal, rel=0.15)
+
+
+def test_supply_current_small(bmvr):
+    assert bmvr.supply_current < 1e-3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BetaMultiplierReference(mirror_ratio=1.0)
+    with pytest.raises(ValueError):
+        BetaMultiplierReference(resistance=0.0)
+    with pytest.raises(ValueError):
+        BetaMultiplierReference(trim_step_fraction=0.5)
+    with pytest.raises(ValueError):
+        BetaMultiplierReference().trim_to(-1.0)
+    with pytest.raises(ValueError):
+        BetaMultiplierReference().tail_current_for(0.0)
+    with pytest.raises(ValueError):
+        BetaMultiplierReference().temperature_coefficient_ppm(100.0, 0.0)

@@ -1,0 +1,184 @@
+"""Baselines (spiral inductors, published records) and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GALAL_RAZAVI_2003,
+    PAPER_THIS_WORK,
+    TAO_BERROTH_2003,
+    bandwidth_parity_check,
+    compare_area,
+    equivalent_spiral_load,
+    measured_this_work,
+    paper_style_comparison,
+    spiral_variant_of,
+    table1_rows,
+)
+from repro.core import ActiveInductorLoad, ResistiveLoad, build_input_interface
+from repro.devices import ActiveInductor, pmos
+from repro.reporting import (
+    format_comparison,
+    format_table,
+    render_eye,
+    render_gain_curve,
+    render_waveform,
+)
+
+
+def active_buffer():
+    return build_input_interface().limiting_amplifier.input_buffer
+
+
+# -- spiral baseline -----------------------------------------------------------
+
+def test_equivalent_spiral_matches_rdc():
+    load = active_buffer().load
+    spiral = equivalent_spiral_load(load)
+    assert spiral.r_dc == pytest.approx(load.r_dc)
+    assert spiral.spiral.inductance >= 0.5e-9
+
+
+def test_spiral_variant_has_same_dc_gain():
+    buffer = active_buffer()
+    variant = spiral_variant_of(buffer)
+    assert variant.dc_gain == pytest.approx(buffer.dc_gain, rel=1e-6)
+
+
+def test_spiral_variant_of_resistive_buffer_is_unchanged():
+    buffer = active_buffer().with_load(ResistiveLoad(200.0))
+    assert spiral_variant_of(buffer) is buffer
+
+
+def test_bandwidth_parity():
+    # "active inductors ... have the same frequency response"
+    assert bandwidth_parity_check(active_buffer(), tolerance=0.5)
+    with pytest.raises(ValueError):
+        bandwidth_parity_check(active_buffer().with_load(ResistiveLoad(200.0)))
+
+
+def test_paper_style_area_reduction_is_about_80_percent():
+    comparison = paper_style_comparison()
+    assert comparison.reduction_percent >= 70.0
+    assert comparison.active_area_mm2 == pytest.approx(0.028, rel=0.02)
+    assert comparison.n_spirals >= 6
+
+
+def test_compare_area_requires_inductive_buffers():
+    from repro.core import PowerAreaBudget
+
+    budget = PowerAreaBudget()
+    budget.add("x", 1e-3, 1e-8)
+    with pytest.raises(ValueError):
+        compare_area(budget, [active_buffer().with_load(ResistiveLoad(100.0))])
+
+
+# -- published records ---------------------------------------------------------
+
+def test_published_record_values_match_table1():
+    assert TAO_BERROTH_2003.power_mw == 120.0
+    assert TAO_BERROTH_2003.bandwidth_ghz == 6.5
+    assert GALAL_RAZAVI_2003.dc_gain_db == 50.0
+    assert PAPER_THIS_WORK.area_mm2 == 0.028
+
+
+def test_measured_this_work_close_to_paper_column():
+    measured = measured_this_work()
+    assert measured.power_mw == pytest.approx(PAPER_THIS_WORK.power_mw,
+                                              rel=0.10)
+    assert measured.bandwidth_ghz == pytest.approx(
+        PAPER_THIS_WORK.bandwidth_ghz, rel=0.10
+    )
+    assert measured.dc_gain_db == pytest.approx(
+        PAPER_THIS_WORK.dc_gain_db, abs=2.5
+    )
+    assert measured.area_mm2 == pytest.approx(PAPER_THIS_WORK.area_mm2,
+                                              rel=0.02)
+
+
+def test_this_work_wins_power_and_area():
+    # The paper's Table I conclusion.
+    measured = measured_this_work()
+    for other in (TAO_BERROTH_2003, GALAL_RAZAVI_2003):
+        assert measured.power_mw < other.power_mw
+        assert measured.area_mm2 < other.area_mm2
+
+
+def test_figure_of_merit_ranks_this_work_first():
+    measured = measured_this_work()
+    assert measured.figure_of_merit() > TAO_BERROTH_2003.figure_of_merit()
+
+
+def test_table1_rows_structure():
+    rows = table1_rows()
+    metrics = [row["metric"] for row in rows]
+    assert "Power consumption" in metrics
+    assert "Bandwidth (-3dB)" in metrics
+    assert len(rows) == 7
+    # every row carries all four columns
+    for row in rows:
+        assert len(row) == 6  # metric + unit + 4 columns
+
+
+# -- reporting -----------------------------------------------------------------
+
+def test_format_table_alignment():
+    rows = [{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table([])
+
+
+def test_format_comparison():
+    text = format_comparison("without", "with",
+                             {"eye height (mV)": (10.0, 50.0)})
+    assert "without" in text and "with" in text
+    assert "eye height" in text
+
+
+def test_render_eye_produces_grid():
+    from repro.analysis import EyeDiagram
+    from repro.signals import bits_to_nrz, prbs7
+
+    wave = bits_to_nrz(prbs7(120), 10e9, amplitude=0.4, samples_per_bit=16)
+    eye = EyeDiagram(wave, 10e9)
+    art = render_eye(eye, width=32, height=10, title="test eye")
+    lines = art.splitlines()
+    assert lines[0] == "test eye"
+    assert len(lines) == 13  # title + 10 rows + axis + stats
+    assert all(len(line) == 32 for line in lines[1:11])
+
+
+def test_render_eye_validation():
+    from repro.analysis import EyeDiagram
+    from repro.signals import bits_to_nrz, prbs7
+
+    wave = bits_to_nrz(prbs7(120), 10e9, amplitude=0.4, samples_per_bit=16)
+    eye = EyeDiagram(wave, 10e9)
+    with pytest.raises(ValueError):
+        render_eye(eye, width=4, height=4)
+
+
+def test_render_gain_curve():
+    freqs = np.logspace(8, 10, 30)
+    gains = -20 * np.log10(1 + freqs / 1e9)
+    art = render_gain_curve(freqs, gains, width=40, height=10)
+    assert "*" in art
+    with pytest.raises(ValueError):
+        render_gain_curve([1e9], [0.0])
+
+
+def test_render_waveform():
+    t = np.linspace(0, 1e-9, 50)
+    v = np.sin(2 * np.pi * 5e9 * t)
+    art = render_waveform(t, v, title="sine")
+    assert art.splitlines()[0] == "sine"
+    with pytest.raises(ValueError):
+        render_waveform([0.0], [1.0])

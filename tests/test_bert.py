@@ -1,0 +1,89 @@
+"""Self-synchronizing PRBS checker (BERT)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_prbs
+from repro.cdr import BangBangCdr, CdrConfig
+from repro.signals import bits_to_nrz, prbs7, prbs15, prbs_sequence
+
+
+def test_clean_prbs7_is_error_free():
+    result = check_prbs(prbs7(500))
+    assert result.error_free
+    assert result.ber == 0.0
+
+
+def test_any_starting_phase_synchronizes():
+    sequence = prbs7(400)
+    for offset in (0, 13, 57, 126):
+        result = check_prbs(sequence[offset: offset + 200])
+        assert result.error_free, f"failed at offset {offset}"
+
+
+def test_higher_orders():
+    assert check_prbs(prbs15(1000), order=15).error_free
+    assert check_prbs(prbs_sequence(9, 600), order=9).error_free
+
+
+def test_single_error_counts_three_mismatches():
+    bits = prbs7(500)
+    bits[250] ^= 1
+    result = check_prbs(bits)
+    assert result.raw_mismatches == 3
+    assert result.estimated_true_errors == pytest.approx(1.0)
+
+
+def test_multiple_isolated_errors():
+    bits = prbs7(1000)
+    positions = [100, 300, 500, 700]
+    for position in positions:
+        bits[position] ^= 1
+    result = check_prbs(bits)
+    assert result.estimated_true_errors == pytest.approx(len(positions))
+    assert result.ber == pytest.approx(len(positions) / result.bits_checked)
+
+
+def test_random_data_fails_massively():
+    rng = np.random.default_rng(3)
+    random_bits = rng.integers(0, 2, 600).astype(np.int8)
+    result = check_prbs(random_bits)
+    # Random bits mismatch the recurrence half the time.
+    assert result.raw_mismatches > 0.3 * result.bits_checked
+
+
+def test_ber_upper_bound():
+    clean = check_prbs(prbs7(1000))
+    bound = clean.ber_upper_bound(0.95)
+    assert bound == pytest.approx(3.0 / clean.bits_checked, rel=0.01)
+    dirty_bits = prbs7(1000)
+    dirty_bits[500] ^= 1
+    dirty = check_prbs(dirty_bits)
+    assert dirty.ber_upper_bound(0.95) > dirty.ber
+    with pytest.raises(ValueError):
+        clean.ber_upper_bound(1.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        check_prbs(prbs7(100), order=8)
+    with pytest.raises(ValueError):
+        check_prbs(prbs7(10))
+    with pytest.raises(ValueError):
+        check_prbs(np.array([0, 1, 2] * 10))
+
+
+def test_bert_through_receiver_and_cdr():
+    """End-to-end instrument use: PRBS through the RX chain and CDR,
+    checked without any reference alignment."""
+    from repro.core import build_input_interface
+
+    rx = build_input_interface()
+    wave = bits_to_nrz(prbs7(600), 10e9, amplitude=0.05,
+                       samples_per_bit=16)
+    out = rx.process(wave)
+    recovered = BangBangCdr(CdrConfig(bit_rate=10e9)).recover(out)
+    # Drop the pre-lock region, then the checker self-syncs anywhere.
+    settled = recovered.decisions[max(0, recovered.locked_at_bit):]
+    result = check_prbs(settled)
+    assert result.error_free

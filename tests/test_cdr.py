@@ -1,0 +1,149 @@
+"""Clock-data recovery: phase detector votes and loop locking."""
+
+import numpy as np
+import pytest
+
+from repro.cdr import BangBangCdr, CdrConfig, PdVote, alexander_votes
+from repro.signals import RandomJitter, NrzEncoder, bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+# -- phase detector -----------------------------------------------------------
+
+def test_votes_on_transitions_only():
+    # Data +1 -> +1: no transition, HOLD regardless of edge sample.
+    votes = alexander_votes(np.array([1.0, 1.0]), np.array([0.5]))
+    assert votes[0] == PdVote.HOLD
+
+
+def test_early_vote():
+    # Transition +1 -> -1 with edge sample still at the OLD value:
+    # the edge came after the crossing sample -> clock EARLY.
+    votes = alexander_votes(np.array([1.0, -1.0]), np.array([0.8]))
+    assert votes[0] == PdVote.EARLY
+
+
+def test_late_vote():
+    # Edge sample already at the NEW value -> clock LATE.
+    votes = alexander_votes(np.array([1.0, -1.0]), np.array([-0.8]))
+    assert votes[0] == PdVote.LATE
+
+
+def test_votes_vectorized():
+    data = np.array([1.0, -1.0, -1.0, 1.0])
+    edge = np.array([0.9, -0.5, 0.9])
+    votes = alexander_votes(data, edge)
+    # Edge sample at the old level (0.9 = prev bit) -> EARLY; no
+    # transition -> HOLD; edge sample at the new level -> LATE.
+    assert list(votes) == [PdVote.EARLY, PdVote.HOLD, PdVote.LATE]
+
+
+def test_votes_length_validation():
+    with pytest.raises(ValueError):
+        alexander_votes(np.array([1.0, 1.0]), np.array([0.5, 0.5]))
+
+
+# -- loop ---------------------------------------------------------------
+
+def clean_wave(n_bits=600, amplitude=0.4, spb=16):
+    return bits_to_nrz(prbs7(n_bits), BIT_RATE, amplitude=amplitude,
+                       samples_per_bit=spb)
+
+
+def test_cdr_locks_on_clean_data():
+    result = BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(clean_wave())
+    assert result.is_locked
+    assert result.locked_at_bit < 300
+    # Locks near zero phase (data sampled at bit centres).
+    assert abs(result.steady_state_phase_ui()) < 0.06
+
+
+def test_cdr_decisions_match_pattern():
+    bits = prbs7(600)
+    wave = bits_to_nrz(bits, BIT_RATE, amplitude=0.4, samples_per_bit=16)
+    result = BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(wave)
+    decisions = result.decisions
+    errors = min(
+        int(np.sum(decisions[lag:lag + 400] != bits[:400]))
+        for lag in range(0, 4)
+    )
+    assert errors == 0
+
+
+def test_cdr_hunting_jitter_scale():
+    # Bang-bang limit cycle: recovered jitter on the order of kp.
+    config = CdrConfig(bit_rate=BIT_RATE, kp=4e-3)
+    result = BangBangCdr(config).recover(clean_wave())
+    assert result.recovered_jitter_ui() < 10 * config.kp
+
+
+def test_cdr_locks_from_any_initial_phase():
+    for phase0 in (-0.4, -0.2, 0.1, 0.45):
+        config = CdrConfig(bit_rate=BIT_RATE, initial_phase_ui=phase0)
+        result = BangBangCdr(config).recover(clean_wave())
+        assert result.is_locked, f"failed from phase {phase0}"
+
+
+def test_cdr_tracks_frequency_offset():
+    # 200 ppm offset: the integral path must absorb the ramp.
+    config = CdrConfig(bit_rate=BIT_RATE, ki=5e-5,
+                       initial_frequency_ppm=200.0)
+    result = BangBangCdr(config).recover(clean_wave(n_bits=800))
+    bits = prbs7(800)
+    errors = min(
+        int(np.sum(result.decisions[lag:lag + 500] != bits[:500]))
+        for lag in range(0, 4)
+    )
+    assert errors <= 1
+
+
+def test_cdr_tolerates_input_jitter():
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=0.4)
+    bits = prbs7(600)
+    jittered = encoder.encode(
+        bits, edge_offsets=RandomJitter(2e-12, seed=3).offsets(600,
+                                                               BIT_RATE)
+    )
+    result = BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(jittered)
+    assert result.is_locked
+    errors = min(
+        int(np.sum(result.decisions[lag:lag + 400] != bits[:400]))
+        for lag in range(0, 4)
+    )
+    assert errors == 0
+
+
+def test_cdr_through_receiver_chain():
+    from repro.core import build_input_interface
+
+    rx = build_input_interface()
+    wave = bits_to_nrz(prbs7(600), BIT_RATE, amplitude=0.01,
+                       samples_per_bit=16)
+    out = rx.process(wave)
+    result = BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(out)
+    assert result.is_locked
+
+
+def test_cdr_validation():
+    with pytest.raises(ValueError):
+        CdrConfig(bit_rate=0.0)
+    with pytest.raises(ValueError):
+        CdrConfig(bit_rate=1e9, kp=0.0)
+    short = bits_to_nrz(prbs7(10), BIT_RATE, samples_per_bit=16)
+    with pytest.raises(ValueError):
+        BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(short)
+
+
+def test_result_accessors_require_lock():
+    from repro.cdr import CdrResult
+
+    unlocked = CdrResult(decisions=np.array([1]),
+                         phase_track_ui=np.array([0.0]),
+                         votes=np.array([0]), locked_at_bit=-1)
+    assert not unlocked.is_locked
+    with pytest.raises(ValueError):
+        unlocked.steady_state_phase_ui()
+    with pytest.raises(ValueError):
+        unlocked.recovered_jitter_ui()

@@ -1,0 +1,181 @@
+"""Backplane channel and termination models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    BackplaneChannel,
+    ChannelParameters,
+    FR4_DEFAULT,
+    ReflectiveLink,
+    Termination,
+    cml_output_swing,
+    reflection_coefficient,
+    required_drive_current,
+    return_loss_db,
+)
+from repro.signals import bits_to_nrz, prbs7
+
+
+def test_loss_increases_with_frequency_and_length():
+    ch = BackplaneChannel(0.5)
+    f = np.array([1e9, 5e9, 10e9])
+    loss = ch.loss_db(f)
+    assert np.all(np.diff(loss) > 0)
+    longer = BackplaneChannel(1.0)
+    assert longer.loss_db(f)[1] == pytest.approx(2 * loss[1])
+
+
+def test_zero_length_channel_is_transparent():
+    ch = BackplaneChannel(0.0)
+    w = bits_to_nrz(prbs7(50), 10e9, samples_per_bit=8)
+    out = ch.process(w)
+    np.testing.assert_array_equal(out.data, w.data)
+
+
+def test_nyquist_loss_default_channel():
+    # 0.5 m default FR-4: ~13 dB at 5 GHz.
+    ch = BackplaneChannel(0.5)
+    assert 10 < ch.nyquist_loss_db(10e9) < 17
+
+
+def test_magnitude_matches_loss():
+    ch = BackplaneChannel(0.5)
+    f = np.array([5e9])
+    assert ch.magnitude(f)[0] == pytest.approx(
+        10 ** (-ch.loss_db(f)[0] / 20.0)
+    )
+    assert ch.s21_db(f)[0] == pytest.approx(-ch.loss_db(f)[0])
+
+
+def test_process_attenuates_high_frequency_content():
+    ch = BackplaneChannel(0.5)
+    # A 5 GHz square (1010 pattern at 10 Gb/s) loses most of its swing;
+    # a low-rate pattern survives.
+    fast = bits_to_nrz(np.tile([1, 0], 60), 10e9, samples_per_bit=16)
+    slow = bits_to_nrz(np.repeat([1, 0], 30), 1e9, samples_per_bit=16)
+    # Skip the start-up region where the line still holds its idle level.
+    fast_out = ch.process(fast).skip(40 * 16)
+    slow_out = ch.process(slow).skip(20 * 16)
+    assert fast_out.peak_to_peak() < 0.55 * fast.peak_to_peak()
+    assert slow_out.peak_to_peak() > 0.8 * slow.peak_to_peak()
+
+
+def test_process_is_causal():
+    # The response to a step must not start before the step (beyond
+    # numerical noise): minimum-phase property.
+    ch = BackplaneChannel(0.5)
+    bits = np.concatenate([np.zeros(20, dtype=int), np.ones(20, dtype=int)])
+    w = bits_to_nrz(bits, 10e9, samples_per_bit=16, rise_time=0.0)
+    out = ch.process(w)
+    step_index = 20 * 16
+    pre_step = out.data[: step_index - 16]
+    assert np.max(np.abs(pre_step - pre_step[0])) < 0.02 * w.peak_to_peak()
+
+
+def test_dc_passes_unattenuated():
+    ch = BackplaneChannel(0.5)
+    w = bits_to_nrz(np.ones(60, dtype=int), 10e9, samples_per_bit=8)
+    out = ch.process(w)
+    assert out.data[-1] == pytest.approx(w.data[-1], rel=0.02)
+
+
+def test_scaled_to_loss():
+    ch = BackplaneChannel(1.0).scaled_to_loss(10.0, at_hz=5e9)
+    assert ch.loss_db(np.array([5e9]))[0] == pytest.approx(10.0)
+
+
+def test_propagation_delay():
+    ch = BackplaneChannel(0.5)
+    v = FR4_DEFAULT.velocity
+    assert ch.propagation_delay == pytest.approx(0.5 / v)
+    assert 1e-9 < ch.propagation_delay < 5e-9  # ~3.4 ns for 0.5 m FR-4
+
+
+def test_channel_parameters_validation():
+    with pytest.raises(ValueError):
+        ChannelParameters(k_skin=-1.0, k_dielectric=0.0)
+    with pytest.raises(ValueError):
+        ChannelParameters(k_skin=0.0, k_dielectric=0.0,
+                          dielectric_constant=0.5)
+    with pytest.raises(ValueError):
+        BackplaneChannel(-1.0)
+
+
+# -- terminations ------------------------------------------------------------
+
+def test_reflection_coefficient_signs():
+    assert reflection_coefficient(50.0) == 0.0
+    assert reflection_coefficient(100.0) > 0
+    assert reflection_coefficient(25.0) < 0
+    assert reflection_coefficient(0.0) == -1.0
+
+
+def test_return_loss():
+    assert math.isinf(return_loss_db(50.0))
+    # 10% mismatch: RL ~ 26 dB.
+    assert return_loss_db(55.0) == pytest.approx(26.4, abs=0.5)
+
+
+def test_cml_swing_8ma():
+    # The paper's 8 mA into a doubly terminated 50-ohm line: 200 mV.
+    assert cml_output_swing(8e-3) == pytest.approx(0.200)
+    assert cml_output_swing(8e-3, double_terminated=False) \
+        == pytest.approx(0.400)
+
+
+def test_required_drive_current_inverts_swing():
+    swing = cml_output_swing(8e-3)
+    assert required_drive_current(swing) == pytest.approx(8e-3)
+
+
+def test_termination_matching():
+    assert Termination(52.0).is_matched()
+    assert not Termination(80.0).is_matched()
+    assert Termination(50.0).gamma == 0.0
+
+
+def test_reflective_link_echo():
+    link = ReflectiveLink(
+        round_trip_delay=1e-9, round_trip_loss_db=6.0,
+        tx=Termination(65.0), rx=Termination(65.0),
+    )
+    w = bits_to_nrz(np.concatenate([np.ones(5, dtype=int),
+                                    np.zeros(35, dtype=int)]),
+                    1e9, samples_per_bit=16, rise_time=0.0)
+    out = link.process(w)
+    # Echo arrives 1 ns (16 samples) after the pulse with the expected gain.
+    gain = link.echo_gain
+    assert gain > 0
+    echo_region = out.data[16 * 6: 16 * 9]
+    assert np.max(np.abs(echo_region - (-0.5))) > 0.5 * gain
+
+
+def test_matched_link_has_no_echo():
+    link = ReflectiveLink(
+        round_trip_delay=1e-9, round_trip_loss_db=6.0,
+        tx=Termination(50.0), rx=Termination(50.0),
+    )
+    w = bits_to_nrz(prbs7(40), 1e9, samples_per_bit=8)
+    out = link.process(w)
+    np.testing.assert_allclose(out.data, w.data)
+
+
+def test_reflective_link_validation():
+    with pytest.raises(ValueError):
+        ReflectiveLink(round_trip_delay=0.0, round_trip_loss_db=6.0,
+                       tx=Termination(50.0), rx=Termination(50.0))
+    with pytest.raises(ValueError):
+        ReflectiveLink(round_trip_delay=1e-9, round_trip_loss_db=-1.0,
+                       tx=Termination(50.0), rx=Termination(50.0))
+
+
+def test_swing_helpers_validation():
+    with pytest.raises(ValueError):
+        cml_output_swing(0.0)
+    with pytest.raises(ValueError):
+        required_drive_current(-0.1)
+    with pytest.raises(ValueError):
+        reflection_coefficient(-1.0)

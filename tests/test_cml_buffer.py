@@ -1,0 +1,153 @@
+"""The basic wide-band CML buffer (Fig 6) and its three techniques."""
+
+import numpy as np
+import pytest
+
+from repro.core import CmlBuffer, ActiveInductorLoad, ResistiveLoad
+from repro.core.cml_buffer import apply_active_feedback
+from repro.devices import ActiveInductor, MosVaractor, nmos, pmos
+from repro.lti import first_order_lowpass
+from repro.signals import bits_to_nrz, prbs7
+
+
+def make_buffer(feedback=1.2, neg_miller=True, rg=1200.0):
+    return CmlBuffer(
+        input_pair=nmos(20e-6, 0.18e-6, 1e-3),
+        load=ActiveInductorLoad(
+            ActiveInductor(pmos(40e-6, 0.18e-6, 1e-3), gate_resistance=rg)
+        ),
+        tail_current=2e-3,
+        c_load_ext=54e-15,
+        source_resistance=250.0,
+        feedback_loop_gain=feedback,
+        neg_miller=MosVaractor(4e-6, 0.5e-6) if neg_miller else None,
+    )
+
+
+def test_dc_gain_is_gm_times_rload():
+    buf = make_buffer()
+    assert buf.dc_gain == pytest.approx(
+        buf.input_pair.gm * buf.load.r_dc
+    )
+    assert buf.small_signal_tf().dc_gain() == pytest.approx(buf.dc_gain,
+                                                            rel=1e-6)
+
+
+def test_output_swing_is_itail_times_rload():
+    buf = make_buffer()
+    assert buf.output_swing == pytest.approx(2e-3 * buf.load.r_dc)
+
+
+def test_active_feedback_extends_bandwidth_at_equal_gain():
+    # The paper's claim for the M3-M6 network: more bandwidth without
+    # giving up DC gain.
+    with_fb = make_buffer(feedback=1.2)
+    without = make_buffer(feedback=0.0)
+    assert with_fb.small_signal_tf().dc_gain() == pytest.approx(
+        without.small_signal_tf().dc_gain(), rel=1e-9
+    )
+    assert with_fb.bandwidth_3db() > 1.25 * without.bandwidth_3db()
+
+
+def test_neg_miller_extends_bandwidth():
+    with_nm = make_buffer(neg_miller=True)
+    without = make_buffer(neg_miller=False)
+    assert with_nm.input_capacitance < without.input_capacitance
+    assert with_nm.bandwidth_3db() > without.bandwidth_3db()
+
+
+def test_inductive_peaking_extends_bandwidth():
+    # Same DC resistance implemented as a plain resistor: less bandwidth.
+    buf = make_buffer()
+    resistive = buf.with_load(ResistiveLoad(buf.load.r_dc))
+    assert buf.bandwidth_3db() > 1.1 * resistive.bandwidth_3db()
+
+
+def test_pmos_width_trades_gain_for_bandwidth():
+    # The Fig 7(b) sweep: wider PMOS -> lower gain, higher bandwidth.
+    narrow = make_buffer()
+    wide = narrow.with_load(narrow.load.scaled(2.0))
+    assert wide.dc_gain < narrow.dc_gain
+    assert wide.bandwidth_3db() > narrow.bandwidth_3db()
+
+
+def test_buffer_limits_at_output_swing():
+    buf = make_buffer()
+    block = buf.to_block()
+    wave = bits_to_nrz(prbs7(60), 10e9, amplitude=2.0, samples_per_bit=16)
+    out = block.process(wave)
+    # Settled output sits at the I*R swing; inductive peaking may
+    # overshoot transiently (that is what peaking *is*), bounded here.
+    assert abs(out.data[-1]) == pytest.approx(buf.output_swing, rel=0.05)
+    assert out.data.max() <= buf.output_swing * 2.0
+    assert out.data.min() >= -buf.output_swing * 2.0
+
+
+def test_block_linearized_gain_matches_tf():
+    buf = make_buffer()
+    block = buf.to_block()
+    tiny = bits_to_nrz(np.array([1] * 40), 10e9, amplitude=2e-4,
+                       samples_per_bit=16)
+    out = block.process(tiny)
+    assert out.data[-1] / tiny.data[-1] == pytest.approx(buf.dc_gain,
+                                                         rel=0.02)
+
+
+def test_stability():
+    assert make_buffer().small_signal_tf().is_stable()
+    assert make_buffer(feedback=3.0).small_signal_tf().is_stable()
+
+
+def test_supply_current_includes_feedback_share():
+    assert make_buffer(feedback=0.0).supply_current == pytest.approx(2e-3)
+    assert make_buffer(feedback=1.0).supply_current == pytest.approx(2.2e-3)
+
+
+def test_ablation_helpers():
+    buf = make_buffer()
+    assert buf.without_feedback().feedback_loop_gain == 0.0
+    assert buf.without_neg_miller().neg_miller is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_buffer(feedback=-1.0)
+    pair = nmos(20e-6, 0.18e-6, 1e-3)
+    load = ResistiveLoad(100.0)
+    with pytest.raises(ValueError):
+        CmlBuffer(pair, load, tail_current=0.0)
+    with pytest.raises(ValueError):
+        CmlBuffer(pair, load, tail_current=1e-3, c_load_ext=-1e-15)
+    with pytest.raises(ValueError):
+        CmlBuffer(pair, load, tail_current=1e-3, source_resistance=0.0)
+
+
+# -- apply_active_feedback in isolation -----------------------------------
+
+def test_feedback_zero_is_identity():
+    tf = first_order_lowpass(5e9, gain=4.0)
+    assert apply_active_feedback(tf, 0.0) is tf
+
+
+def test_feedback_restores_gain_by_default():
+    tf = first_order_lowpass(5e9, gain=4.0)
+    closed = apply_active_feedback(tf, 1.0)
+    assert closed.dc_gain() == pytest.approx(4.0)
+
+
+def test_feedback_without_restore_divides_gain():
+    tf = first_order_lowpass(5e9, gain=4.0)
+    closed = apply_active_feedback(tf, 1.0, restore_gain=False)
+    assert closed.dc_gain() == pytest.approx(2.0)
+
+
+def test_feedback_creates_complex_poles_from_two_real():
+    tf = first_order_lowpass(5e9).cascade(first_order_lowpass(5e9))
+    closed = apply_active_feedback(tf, 2.0)
+    poles = closed.poles()
+    assert np.any(np.abs(poles.imag) > 0)
+
+
+def test_feedback_rejects_negative_loop_gain():
+    with pytest.raises(ValueError):
+        apply_active_feedback(first_order_lowpass(1e9), -0.5)

@@ -1,0 +1,143 @@
+"""Cherry-Hooper equalizer: tunable zero, V1 knob, current buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core import CherryHooperEqualizer, TriodeDegeneration
+from repro.devices import nmos
+
+
+def make_equalizer(**kwargs):
+    return CherryHooperEqualizer(
+        input_pair=nmos(20e-6, 0.18e-6, 1e-3), **kwargs
+    )
+
+
+def test_triode_resistance_decreases_with_v1():
+    deg = TriodeDegeneration()
+    assert deg.resistance(0.6) > deg.resistance(1.0)
+
+
+def test_triode_resistance_range_is_wide():
+    # "a wide range of control": several-x over the usable V1 span.
+    deg = TriodeDegeneration()
+    lo, hi = deg.control_range()
+    assert deg.resistance(lo) > 3 * deg.resistance(hi)
+
+
+def test_triode_rejects_subthreshold_control():
+    deg = TriodeDegeneration()
+    with pytest.raises(ValueError):
+        deg.resistance(0.40)
+
+
+def test_boost_increases_as_v1_drops():
+    # Lower V1 -> larger Rd -> more equalization boost.
+    low = make_equalizer(control_voltage=0.55)
+    high = make_equalizer(control_voltage=1.0)
+    assert low.boost_db > high.boost_db
+    assert low.zero_hz < high.zero_hz
+
+
+def test_dc_gain_rises_with_v1():
+    # The Fig 5 y-axis shift: DC gain is degeneration-limited.
+    low = make_equalizer(control_voltage=0.55)
+    high = make_equalizer(control_voltage=1.0)
+    assert high.dc_gain_db() > low.dc_gain_db()
+
+
+def test_response_is_high_pass_shaped():
+    eq = make_equalizer(control_voltage=0.6)
+    f = np.array([1e7, eq.zero_hz * 2])
+    gain = eq.gain_db(f)
+    assert gain[1] > gain[0] + 1.2  # boost above the zero
+
+
+def test_gain_flat_when_degeneration_small():
+    eq = make_equalizer(control_voltage=1.2)
+    f = np.array([1e8, 2e9])
+    gain = eq.gain_db(f)
+    assert abs(gain[1] - gain[0]) < 2.0
+
+
+def test_boost_matches_analytic_ratio():
+    eq = make_equalizer(control_voltage=0.6)
+    gm1 = eq.gm1_tf()
+    # HF transconductance / DC transconductance equals the boost ratio.
+    hf = abs(gm1.response(np.array([200e9]))[0])
+    dc = abs(gm1.dc_gain())
+    assert hf / dc == pytest.approx(eq.boost_ratio, rel=0.02)
+
+
+def test_current_buffers_raise_gain():
+    # Fig 5(a) vs 5(b): active feedback through M1/M2 recovers the
+    # loop-gain factor that loaded resistive feedback loses.
+    with_buffers = make_equalizer()
+    without = with_buffers.without_current_buffers()
+    assert with_buffers.dc_gain_db() > without.dc_gain_db() + 4.0
+
+
+def test_current_buffers_improve_linearity():
+    # Output-referred 1 dB compression: the unloaded (current-buffer)
+    # feedback roughly doubles the undistorted output capability.
+    with_buffers = make_equalizer()
+    without = with_buffers.without_current_buffers()
+    assert with_buffers.output_p1db() > 1.5 * without.output_p1db()
+
+
+def test_gain_compression_monotone():
+    eq = make_equalizer()
+    assert eq.gain_compression_db(1e-4) < 0.1
+    assert eq.gain_compression_db(0.5) > 3.0
+    with pytest.raises(ValueError):
+        eq.gain_compression_db(0.0)
+
+
+def test_input_match_is_50_ohm():
+    eq = make_equalizer()
+    assert eq.input_impedance() == pytest.approx(50.0)
+    assert eq.input_return_loss_db() > 20.0
+
+
+def test_small_signal_tf_is_stable():
+    assert make_equalizer().small_signal_tf().is_stable()
+    assert make_equalizer(control_voltage=0.55).small_signal_tf().is_stable()
+
+
+def test_tuned_returns_new_instance():
+    eq = make_equalizer(control_voltage=0.7)
+    tuned = eq.tuned(0.6)
+    assert tuned.control_voltage == 0.6
+    assert eq.control_voltage == 0.7
+
+
+def test_block_limits_at_output_limit():
+    from repro.signals import bits_to_nrz, prbs7
+
+    eq = make_equalizer()
+    block = eq.to_block()
+    wave = bits_to_nrz(prbs7(60), 10e9, amplitude=2.0, samples_per_bit=16)
+    out = block.process(wave)
+    # Settled levels sit at the limit; transient (inductive/zero-driven)
+    # overshoot may briefly exceed it.
+    assert abs(out.data[-1]) <= eq.output_limit * 1.02
+    assert out.data.max() <= eq.output_limit * 1.6
+
+
+def test_supply_current_accounts_for_buffers():
+    eq = make_equalizer()
+    without = eq.without_current_buffers()
+    assert eq.supply_current > without.supply_current
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_equalizer(control_voltage=0.3)  # below triode range
+    with pytest.raises(ValueError):
+        make_equalizer(r_stage1=0.0)
+    with pytest.raises(ValueError):
+        make_equalizer(feedback_loop_gain=-1.0)
+    with pytest.raises(ValueError):
+        TriodeDegeneration(width=0.0)
+    with pytest.raises(ValueError):
+        TriodeDegeneration(capacitance=-1e-15)

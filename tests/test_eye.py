@@ -1,0 +1,121 @@
+"""Eye-diagram measurement against waveforms with known properties."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EyeDiagram
+from repro.signals import RandomJitter, NrzEncoder, bits_to_nrz, prbs7
+
+
+def clean_wave(amplitude=0.4, n_bits=200, spb=16):
+    return bits_to_nrz(prbs7(n_bits), 10e9, amplitude=amplitude,
+                       samples_per_bit=spb)
+
+
+def test_clean_eye_is_wide_open():
+    m = EyeDiagram.measure_waveform(clean_wave(), 10e9)
+    assert m.is_open
+    assert m.eye_height > 0.9 * 0.4
+    assert m.eye_width_ui > 0.8
+    assert m.eye_amplitude == pytest.approx(0.4, rel=0.02)
+
+
+def test_levels_of_clean_eye():
+    m = EyeDiagram.measure_waveform(clean_wave(), 10e9)
+    assert m.level_one == pytest.approx(0.2, rel=0.05)
+    assert m.level_zero == pytest.approx(-0.2, rel=0.05)
+
+
+def test_eye_height_shrinks_with_noise():
+    from repro.signals import add_awgn
+
+    clean = clean_wave()
+    noisy = add_awgn(clean, 0.02, seed=2)
+    m_clean = EyeDiagram.measure_waveform(clean, 10e9)
+    m_noisy = EyeDiagram.measure_waveform(noisy, 10e9)
+    assert m_noisy.eye_height < m_clean.eye_height
+    assert m_noisy.q_factor < m_clean.q_factor
+
+
+def test_jitter_shrinks_eye_width():
+    encoder = NrzEncoder(bit_rate=10e9, samples_per_bit=32, amplitude=0.4)
+    bits = prbs7(300)
+    clean = encoder.encode(bits)
+    jittered = encoder.encode(
+        bits, edge_offsets=RandomJitter(3e-12, seed=4).offsets(300, 10e9)
+    )
+    m_clean = EyeDiagram.measure_waveform(clean, 10e9)
+    m_jit = EyeDiagram.measure_waveform(jittered, 10e9)
+    assert m_jit.eye_width_ui < m_clean.eye_width_ui
+    assert m_jit.jitter_pp > m_clean.jitter_pp
+
+
+def test_measured_jitter_rms_close_to_injected():
+    encoder = NrzEncoder(bit_rate=10e9, samples_per_bit=32, amplitude=0.4,
+                         rise_time=10e-12)
+    bits = prbs7(500)
+    rj = 2e-12
+    jittered = encoder.encode(
+        bits, edge_offsets=RandomJitter(rj, seed=9).offsets(500, 10e9)
+    )
+    m = EyeDiagram.measure_waveform(jittered, 10e9)
+    assert m.jitter_rms == pytest.approx(rj, rel=0.5)
+
+
+def test_closed_eye_reports_nonpositive_height():
+    from repro.channel import BackplaneChannel
+
+    # A brutal channel at 10 Gb/s: the raw eye closes.
+    wave = clean_wave(n_bits=260)
+    closed = BackplaneChannel(0.9).process(wave)
+    m = EyeDiagram.measure_waveform(closed, 10e9, skip_ui=20)
+    assert m.eye_height <= 0.02
+
+
+def test_non_integer_sample_ratio_is_resampled():
+    wave = clean_wave().resampled(150e9)  # 15 samples/UI
+    m = EyeDiagram.measure_waveform(wave, 10e9)
+    assert m.is_open
+
+
+def test_two_ui_traces_shape():
+    eye = EyeDiagram(clean_wave(n_bits=100, spb=16), 10e9, skip_ui=4)
+    traces = eye.two_ui_traces()
+    assert traces.shape[1] == 32
+
+
+def test_degenerate_all_ones_signal():
+    wave = bits_to_nrz(np.ones(64, dtype=int), 10e9, samples_per_bit=16)
+    m = EyeDiagram.measure_waveform(wave, 10e9)
+    assert not m.is_open
+
+
+def test_eye_requires_enough_ui():
+    wave = bits_to_nrz(prbs7(10), 10e9, samples_per_bit=16)
+    with pytest.raises(ValueError):
+        EyeDiagram(wave, 10e9)
+
+
+def test_eye_requires_enough_oversampling():
+    wave = bits_to_nrz(prbs7(100), 10e9, samples_per_bit=2)
+    with pytest.raises(ValueError):
+        EyeDiagram(wave, 10e9)
+
+
+def test_validation():
+    wave = clean_wave()
+    with pytest.raises(ValueError):
+        EyeDiagram(wave, bit_rate=0.0)
+    with pytest.raises(ValueError):
+        EyeDiagram(wave, 10e9, skip_ui=-1)
+
+
+def test_sampling_phase_near_center():
+    m = EyeDiagram.measure_waveform(clean_wave(), 10e9)
+    # For symmetric NRZ the best phase is near mid-UI.
+    assert 0.2 < m.sampling_phase_ui < 0.8
+
+
+def test_eye_opening_fraction():
+    m = EyeDiagram.measure_waveform(clean_wave(), 10e9)
+    assert 0.85 < m.eye_opening_fraction <= 1.0

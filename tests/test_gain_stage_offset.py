@@ -1,0 +1,168 @@
+"""Gain stage (Fig 9) and DC-offset cancellation network (Fig 8)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ActiveInductorLoad,
+    GainStage,
+    OffsetCancellationNetwork,
+    duty_cycle_distortion,
+)
+from repro.devices import ActiveInductor, MosVaractor, nmos, pmos
+
+
+def make_stage(**kwargs):
+    defaults = dict(
+        input_pair=nmos(40e-6, 0.18e-6, 1.25e-3),
+        load_resistance=260.0,
+        tail_current=2.5e-3,
+        c_load_ext=54e-15,
+        source_resistance=260.0,
+        feedback_loop_gain=1.2,
+        neg_miller=MosVaractor(4e-6, 0.5e-6),
+    )
+    defaults.update(kwargs)
+    return GainStage(**defaults)
+
+
+def test_gain_is_gm_times_r():
+    stage = make_stage()
+    expected = stage.input_pair.gm * 260.0
+    assert stage.dc_gain == pytest.approx(expected)
+
+
+def test_pull_up_resistors_give_larger_gain_than_active_load():
+    # The paper's rationale for resistive loads in the gain cells: a
+    # diode-ish PMOS load is capped at 1/gm, while a poly resistor can
+    # be sized above it (here the typically-sized 60 um PMOS load).
+    stage = make_stage()
+    active = make_stage(
+        peaking_inductor=None,
+        load_resistance=1.0 / pmos(60e-6, 0.18e-6, 1.25e-3).gm,
+    )
+    assert stage.dc_gain >= active.dc_gain
+
+
+def test_swing_is_itail_times_r():
+    stage = make_stage()
+    assert stage.output_swing == pytest.approx(2.5e-3 * 260.0)
+
+
+def test_scaled_gain():
+    stage = make_stage()
+    bigger = stage.scaled_gain(1.5)
+    assert bigger.dc_gain == pytest.approx(1.5 * stage.dc_gain)
+    with pytest.raises(ValueError):
+        stage.scaled_gain(0.0)
+
+
+def test_peaking_inductor_extends_bandwidth():
+    plain = make_stage()
+    inductor = ActiveInductorLoad(
+        ActiveInductor(pmos(10e-6, 0.18e-6, 0.3e-3), gate_resistance=6000.0)
+    )
+    peaked = make_stage(peaking_inductor=inductor,
+                        load_resistance=plain.load_resistance * 1.6)
+    # Comparable DC gain, more bandwidth from the parallel inductor.
+    assert peaked.dc_gain == pytest.approx(plain.dc_gain, rel=0.35)
+    assert peaked.bandwidth_3db() > 0.9 * plain.bandwidth_3db()
+
+
+def test_feedback_ablation_shrinks_bandwidth():
+    stage = make_stage()
+    assert stage.bandwidth_3db() > 1.2 * stage.without_feedback().bandwidth_3db()
+
+
+def test_neg_miller_ablation():
+    stage = make_stage()
+    assert stage.without_neg_miller().as_buffer().input_capacitance \
+        > stage.as_buffer().input_capacitance
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_stage(load_resistance=0.0)
+
+
+# -- offset cancellation ------------------------------------------------------
+
+def test_lowpass_corner_default_is_hz_scale():
+    net = OffsetCancellationNetwork()
+    assert net.lowpass_corner_hz == pytest.approx(
+        1.0 / (2 * math.pi * 20e3 * 1e-6)
+    )
+    assert net.lowpass_corner_hz < 100.0
+
+
+def test_highpass_corner_scales_with_gain():
+    net = OffsetCancellationNetwork()
+    assert net.highpass_corner_hz(100.0) == pytest.approx(
+        101.0 * net.lowpass_corner_hz
+    )
+    with pytest.raises(ValueError):
+        net.highpass_corner_hz(0.0)
+
+
+def test_residual_offset_suppressed_by_loop_gain():
+    net = OffsetCancellationNetwork()
+    # 5 mV offset into a 40 dB amplifier: 0.5 V open loop, ~5 mV closed.
+    open_loop = 100.0 * 5e-3
+    closed = net.residual_output_offset(5e-3, 100.0)
+    assert open_loop == pytest.approx(0.5)
+    assert closed == pytest.approx(5e-3, rel=0.02)
+    assert closed < open_loop / 50.0
+
+
+def test_closed_loop_tf_is_bandpass():
+    from repro.lti import first_order_lowpass
+
+    net = OffsetCancellationNetwork()
+    amp = first_order_lowpass(10e9, gain=100.0)
+    closed = net.closed_loop_tf(amp)
+    # DC gain crushed by the loop, midband gain preserved.
+    assert abs(closed.dc_gain()) < 2.0
+    import numpy as np
+
+    mid = abs(closed.response(np.array([1e8]))[0])
+    assert mid == pytest.approx(100.0, rel=0.05)
+
+
+def test_baseline_wander_negligible_for_prbs7():
+    net = OffsetCancellationNetwork()
+    droop = net.baseline_wander_fraction(7, 10e9, 100.0)
+    assert droop < 1e-4
+
+
+def test_baseline_wander_grows_with_run_length():
+    net = OffsetCancellationNetwork()
+    assert net.baseline_wander_fraction(1000000, 10e9, 100.0) \
+        > net.baseline_wander_fraction(7, 10e9, 100.0)
+
+
+def test_duty_cycle_distortion():
+    # Offset of 10% of the amplitude with 15 ps edges at 10 Gb/s.
+    dcd = duty_cycle_distortion(residual_offset=25e-3,
+                                signal_amplitude=0.25,
+                                rise_time=15e-12, bit_rate=10e9)
+    assert dcd == pytest.approx(2 * 25e-3 / (0.5 / 15e-12) * 10e9)
+    assert dcd < 0.05
+
+
+def test_duty_cycle_distortion_validation():
+    with pytest.raises(ValueError):
+        duty_cycle_distortion(1e-3, 0.0, 1e-12, 1e9)
+    with pytest.raises(ValueError):
+        duty_cycle_distortion(1e-3, 0.1, -1.0, 1e9)
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        OffsetCancellationNetwork(branch_resistance=0.0)
+    with pytest.raises(ValueError):
+        OffsetCancellationNetwork(capacitance=-1e-6)
+    with pytest.raises(ValueError):
+        OffsetCancellationNetwork(sense_gain=1.5)
+    with pytest.raises(ValueError):
+        OffsetCancellationNetwork().baseline_wander_fraction(0, 1e9, 10.0)

@@ -1,0 +1,119 @@
+"""Limiting amplifier: gain chain, limiting, offset loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_input_interface
+from repro.signals import bits_to_nrz, prbs7
+
+
+@pytest.fixture(scope="module")
+def la():
+    return build_input_interface().limiting_amplifier
+
+
+def test_chain_order(la):
+    chain = la.stage_chain()
+    assert len(chain) == 6  # input buffer + 4 gain stages + output buffer
+    assert chain[0].name == "la-input-buffer"
+    assert chain[-1].name == "la-output-buffer"
+
+
+def test_dc_gain_in_paper_range(la):
+    # The LA alone carries most of the 40 dB input-interface gain.
+    assert 30.0 < la.dc_gain_db() < 42.0
+
+
+def test_bandwidth_near_10ghz(la):
+    assert 8e9 < la.bandwidth_3db() < 13e9
+
+
+def test_output_swing_250mv(la):
+    assert la.output_swing == pytest.approx(0.25)
+
+
+def test_small_input_limits_to_full_swing(la):
+    # 10 mV pp through the LA's ~35 dB drives the output into limiting.
+    wave = bits_to_nrz(prbs7(150), 10e9, amplitude=0.010,
+                       samples_per_bit=16)
+    out = la.process(wave)
+    settled = out.data[len(out.data) // 2:]
+    assert np.max(settled) > 0.8 * la.output_swing
+
+
+def test_limiting_makes_output_insensitive_to_input_swing(la):
+    small = bits_to_nrz(prbs7(150), 10e9, amplitude=0.01,
+                        samples_per_bit=16)
+    large = bits_to_nrz(prbs7(150), 10e9, amplitude=0.5,
+                        samples_per_bit=16)
+    out_small = la.process(small).skip(300)
+    out_large = la.process(large).skip(300)
+    ratio = out_large.peak_to_peak() / out_small.peak_to_peak()
+    assert ratio == pytest.approx(1.0, abs=0.15)
+
+
+def test_gain_bandwidth_product(la):
+    # ~35 dB LA times ~9.5 GHz: several hundred GHz of GBW.
+    gbw = la.gain_bandwidth_product()
+    assert gbw > 50 * 8e9
+
+
+def test_offset_without_loop_saturates(la):
+    offset_la = la.with_offset(5e-3)
+    assert offset_la.uncancelled_output_offset() > offset_la.output_swing
+
+
+def test_offset_loop_rescues_offset(la):
+    offset_la = la.with_offset(5e-3)
+    residual = offset_la.residual_output_offset()
+    assert residual < 0.05 * offset_la.output_swing
+    assert residual < offset_la.uncancelled_output_offset() / 20.0
+
+
+def test_offset_applied_in_process(la):
+    wave = bits_to_nrz(prbs7(120), 10e9, amplitude=0.02, samples_per_bit=16)
+    clean = la.process(wave).skip(200)
+    shifted = la.with_offset(5e-3).process(wave).skip(200)
+    # The residual offset slightly biases the output mean, but far less
+    # than the uncancelled 0.5 V would.
+    delta = abs(shifted.mean() - clean.mean())
+    assert delta < 0.1 * la.output_swing
+
+
+def test_highpass_corner_is_far_below_data_rate(la):
+    assert la.highpass_corner_hz() < 1e6  # MHz-scale vs 10 GHz data
+
+
+def test_ablations_reduce_bandwidth(la):
+    assert la.without_feedback().bandwidth_3db() < 0.8 * la.bandwidth_3db()
+    assert la.without_neg_miller().bandwidth_3db() < la.bandwidth_3db()
+
+
+def test_ablations_preserve_dc_gain(la):
+    assert la.without_feedback().dc_gain_db() == pytest.approx(
+        la.dc_gain_db(), abs=0.1
+    )
+
+
+def test_supply_current_reasonable(la):
+    # The LA burns most of the input interface's ~21 mA.
+    assert 0.010 < la.supply_current < 0.025
+
+
+def test_requires_gain_stages():
+    from repro.core import LimitingAmplifier
+
+    with pytest.raises(ValueError):
+        LimitingAmplifier(
+            input_buffer=la_build_buffer(),
+            gain_stages=[],
+            output_buffer=la_build_buffer(),
+        )
+
+
+def la_build_buffer():
+    from repro.core import CmlBuffer, ResistiveLoad
+    from repro.devices import nmos
+
+    return CmlBuffer(nmos(20e-6, 0.18e-6, 1e-3), ResistiveLoad(200.0),
+                     tail_current=2e-3)

@@ -1,0 +1,102 @@
+"""Load elements and node-impedance algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActiveInductorLoad,
+    ParallelLoad,
+    ResistiveLoad,
+    SpiralInductorLoad,
+    node_impedance,
+    stage_tf,
+)
+from repro.devices import ActiveInductor, SpiralInductor, pmos
+
+
+def active_load(rg=1200.0):
+    return ActiveInductorLoad(ActiveInductor(pmos(40e-6, 0.18e-6, 1e-3), rg))
+
+
+def test_resistive_load_is_flat():
+    load = ResistiveLoad(200.0)
+    assert load.r_dc == 200.0
+    tf = load.impedance_tf()
+    f = np.array([1e8, 1e10])
+    np.testing.assert_allclose(np.abs(tf.response(f)), 200.0)
+
+
+def test_resistive_load_area_scales():
+    assert ResistiveLoad(200.0).area == pytest.approx(2 * ResistiveLoad(100.0).area)
+    with pytest.raises(ValueError):
+        ResistiveLoad(0.0)
+
+
+def test_active_inductor_load_delegates():
+    load = active_load()
+    assert load.r_dc == pytest.approx(load.inductor.r_dc)
+    assert load.area > 0
+    scaled = load.scaled(2.0)
+    assert scaled.r_dc == pytest.approx(load.r_dc / 2.0, rel=1e-6)
+    assert scaled.area == pytest.approx(2 * load.area)
+
+
+def test_active_load_is_tiny_compared_to_spiral():
+    # The heart of the 80% area claim: per element, active << spiral.
+    active = active_load()
+    spiral = SpiralInductorLoad(active.r_dc, SpiralInductor(2e-9))
+    assert active.area < 0.02 * spiral.area
+
+
+def test_spiral_load_impedance_is_r_plus_sl():
+    load = SpiralInductorLoad(100.0, SpiralInductor(2e-9))
+    z = load.impedance_tf().response(np.array([0.0, 8e9]))
+    assert abs(z[0]) == pytest.approx(100.0)
+    expected = abs(100.0 + 2j * np.pi * 8e9 * 2e-9)
+    assert abs(z[1]) == pytest.approx(expected, rel=1e-9)
+
+
+def test_parallel_load_combines_resistances():
+    combo = ParallelLoad((ResistiveLoad(100.0), ResistiveLoad(100.0)))
+    assert combo.r_dc == pytest.approx(50.0)
+    assert combo.area == pytest.approx(2 * ResistiveLoad(100.0).area)
+    z = combo.impedance_tf().response(np.array([1e9]))
+    assert abs(z[0]) == pytest.approx(50.0)
+
+
+def test_parallel_load_needs_elements():
+    with pytest.raises(ValueError):
+        ParallelLoad(())
+
+
+def test_node_impedance_adds_pole():
+    load = ResistiveLoad(200.0)
+    z = node_impedance(load, 100e-15)
+    # RC pole at 1/(2 pi R C) ~ 7.96 GHz.
+    assert z.bandwidth_3db() == pytest.approx(7.96e9, rel=0.01)
+    assert z.dc_gain() == pytest.approx(200.0)
+
+
+def test_node_impedance_zero_cap_is_identity():
+    load = ResistiveLoad(100.0)
+    z = node_impedance(load, 0.0)
+    assert z.dc_gain() == pytest.approx(100.0)
+    assert z.order == 0
+
+
+def test_node_impedance_with_active_inductor_peaks():
+    # Active inductor + node cap -> peaked second-order response.
+    z = node_impedance(active_load(rg=2500.0), 80e-15)
+    assert z.peaking_db() > 0.5
+
+
+def test_node_impedance_rejects_negative_cap():
+    with pytest.raises(ValueError):
+        node_impedance(ResistiveLoad(100.0), -1e-15)
+
+
+def test_stage_tf_gain():
+    tf = stage_tf(10e-3, ResistiveLoad(200.0), 50e-15)
+    assert tf.dc_gain() == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        stage_tf(0.0, ResistiveLoad(100.0), 0.0)

@@ -1,0 +1,130 @@
+"""Eye-mask compliance and the generic CTLE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EyeMask, check_mask
+from repro.baselines import GenericCtle, ctle_matching_equalizer
+from repro.channel import BackplaneChannel
+from repro.core import CherryHooperEqualizer, build_input_interface
+from repro.devices import nmos
+from repro.signals import add_awgn, bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+def small_mask(height=0.05):
+    return EyeMask(x1=0.25, x2=0.4, y1=height, y2=0.5)
+
+
+# -- mask ----------------------------------------------------------------
+
+def test_clean_eye_passes_small_mask():
+    wave = bits_to_nrz(prbs7(220), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=16)
+    result = check_mask(wave, BIT_RATE, small_mask())
+    assert result.passes
+    assert result.margin > 1.5
+
+
+def test_closed_eye_fails_mask():
+    wave = bits_to_nrz(prbs7(220), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=16)
+    crushed = BackplaneChannel(0.9).process(wave)
+    result = check_mask(crushed, BIT_RATE, small_mask(), skip_ui=20)
+    assert not result.passes
+    assert result.hexagon_violations > 0
+    assert result.margin < 1.0
+
+
+def test_amplitude_ceiling_violation():
+    wave = bits_to_nrz(prbs7(220), BIT_RATE, amplitude=1.5,
+                       samples_per_bit=16)
+    mask = EyeMask(x1=0.25, x2=0.4, y1=0.05, y2=0.5)
+    result = check_mask(wave, BIT_RATE, mask)
+    assert result.amplitude_violations > 0
+    assert not result.passes
+
+
+def test_margin_decreases_with_noise():
+    wave = bits_to_nrz(prbs7(300), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=16)
+    clean = check_mask(wave, BIT_RATE, small_mask())
+    noisy = check_mask(add_awgn(wave, 0.03, seed=1), BIT_RATE,
+                       small_mask())
+    assert noisy.margin < clean.margin
+
+
+def test_receiver_output_passes_cdr_mask():
+    # The LA's job: its output must present a compliant eye to the CDR.
+    rx = build_input_interface()
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.02,
+                       samples_per_bit=16)
+    out = rx.process(wave)
+    mask = EyeMask(x1=0.3, x2=0.45, y1=0.1, y2=0.6)
+    result = check_mask(out, BIT_RATE, mask, skip_ui=16)
+    assert result.passes
+
+
+def test_mask_validation():
+    with pytest.raises(ValueError):
+        EyeMask(x1=0.4, x2=0.3, y1=0.1, y2=0.5)
+    with pytest.raises(ValueError):
+        EyeMask(x1=0.1, x2=0.3, y1=0.5, y2=0.1)
+    with pytest.raises(ValueError):
+        small_mask().scaled(0.0)
+
+
+def test_inner_boundary_shape():
+    mask = small_mask(height=0.1)
+    phases = np.array([0.1, 0.3, 0.5, 0.7, 0.9])
+    bound = mask.inner_boundary(phases)
+    assert bound[0] == 0.0          # outside the hexagon
+    assert bound[2] == pytest.approx(0.1)  # flat top at centre
+    assert bound[1] == pytest.approx(bound[3])  # symmetric
+
+
+# -- CTLE baseline -------------------------------------------------------
+
+def test_ctle_boost():
+    ctle = GenericCtle(dc_gain=1.0, zero_hz=1.5e9, pole1_hz=6e9,
+                       pole2_hz=12e9)
+    assert 6.0 < ctle.boost_db() < 14.0
+
+
+def test_ctle_matches_equalizer_response_shape():
+    equalizer = CherryHooperEqualizer(
+        input_pair=nmos(20e-6, 0.18e-6, 1e-3), control_voltage=0.6
+    )
+    ctle = ctle_matching_equalizer(equalizer)
+    freqs = np.logspace(8, 10, 40)
+    eq_gain = equalizer.gain_db(freqs)
+    ctle_gain = ctle.transfer_function().magnitude_db(freqs)
+    # Same family: boost region within a couple of dB of each other.
+    band = (freqs > equalizer.zero_hz) & (freqs < 6e9)
+    assert np.max(np.abs(eq_gain[band] - ctle_gain[band])) < 4.0
+
+
+def test_ctle_equalizes_channel_like_the_real_one():
+    from repro.analysis import EyeDiagram
+
+    channel = BackplaneChannel(0.4)
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.2,
+                       samples_per_bit=16)
+    received = channel.process(wave)
+    equalizer = CherryHooperEqualizer(
+        input_pair=nmos(20e-6, 0.18e-6, 1e-3), control_voltage=0.55
+    )
+    ctle = ctle_matching_equalizer(equalizer)
+    m_raw = EyeDiagram.measure_waveform(received, BIT_RATE, skip_ui=16)
+    m_ctle = EyeDiagram.measure_waveform(
+        ctle.to_block().process(received), BIT_RATE, skip_ui=16
+    )
+    assert m_ctle.eye_width_ui > m_raw.eye_width_ui
+
+
+def test_ctle_validation():
+    with pytest.raises(ValueError):
+        GenericCtle(dc_gain=0.0, zero_hz=1e9, pole1_hz=5e9, pole2_hz=9e9)
+    with pytest.raises(ValueError):
+        GenericCtle(dc_gain=1.0, zero_hz=5e9, pole1_hz=1e9, pole2_hz=9e9)

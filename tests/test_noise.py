@@ -1,0 +1,85 @@
+"""Noise sources and SNR helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    Waveform,
+    WhiteNoise,
+    add_awgn,
+    snr_db,
+    thermal_noise_rms,
+)
+
+
+def flat_wave(n=20000, fs=1e9):
+    return Waveform(np.zeros(n), fs)
+
+
+def test_white_noise_rms():
+    noisy = WhiteNoise(rms_volts=3e-3, seed=3).apply(flat_wave())
+    assert noisy.rms() == pytest.approx(3e-3, rel=0.05)
+
+
+def test_white_noise_zero_is_identity():
+    w = flat_wave(10)
+    assert WhiteNoise(0.0).apply(w) is w
+
+
+def test_white_noise_reproducible():
+    a = WhiteNoise(1e-3, seed=5).apply(flat_wave(100))
+    b = WhiteNoise(1e-3, seed=5).apply(flat_wave(100))
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_white_noise_rejects_negative():
+    with pytest.raises(ValueError):
+        WhiteNoise(-1.0)
+
+
+def test_from_density():
+    # 1 nV/rtHz over 10 GHz -> 100 uV RMS.
+    source = WhiteNoise.from_density(1e-9, 10e9)
+    assert source.rms_volts == pytest.approx(1e-4)
+
+
+def test_from_density_rejects_bad_args():
+    with pytest.raises(ValueError):
+        WhiteNoise.from_density(-1e-9, 1e9)
+    with pytest.raises(ValueError):
+        WhiteNoise.from_density(1e-9, 0.0)
+
+
+def test_thermal_noise_50ohm_10ghz():
+    # sqrt(4kTRB): ~91 uV for 50 ohm over 10 GHz at 300 K.
+    v = thermal_noise_rms(50.0, 10e9, temperature_k=300.0)
+    expected = math.sqrt(4 * 1.380649e-23 * 300.0 * 50.0 * 10e9)
+    assert v == pytest.approx(expected)
+    assert 80e-6 < v < 100e-6
+
+
+def test_thermal_noise_rejects_bad_args():
+    with pytest.raises(ValueError):
+        thermal_noise_rms(-1.0, 1e9)
+    with pytest.raises(ValueError):
+        thermal_noise_rms(50.0, 1e9, temperature_k=0.0)
+
+
+def test_add_awgn_convenience():
+    w = Waveform(np.ones(5000), 1e9)
+    noisy = add_awgn(w, 0.1, seed=1)
+    assert np.std(noisy.data - w.data) == pytest.approx(0.1, rel=0.1)
+
+
+def test_snr_db():
+    signal = Waveform(np.full(100, 0.1), 1e9)
+    assert snr_db(signal, 0.01) == pytest.approx(20.0)
+
+
+def test_snr_rejects_degenerate():
+    with pytest.raises(ValueError):
+        snr_db(Waveform(np.zeros(10), 1e9), 0.01)
+    with pytest.raises(ValueError):
+        snr_db(Waveform(np.ones(10), 1e9), 0.0)

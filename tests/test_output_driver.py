@@ -1,0 +1,109 @@
+"""Tapered driver and level shifter (Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_output_interface
+from repro.core.output_driver import LevelShifter, TaperedDriver
+from repro.devices import nmos
+from repro.signals import bits_to_nrz, prbs7
+
+
+@pytest.fixture(scope="module")
+def tx():
+    return build_output_interface()
+
+
+def test_taper_produces_8ma_final_stage(tx):
+    assert tx.driver.output_current == pytest.approx(8e-3)
+
+
+def test_stage_currents_double(tx):
+    stages = tx.driver.stages()
+    currents = [s.tail_current for s in stages]
+    assert currents == pytest.approx([2e-3, 4e-3, 8e-3])
+
+
+def test_stage_widths_double(tx):
+    stages = tx.driver.stages()
+    widths = [s.input_pair.width for s in stages]
+    assert widths[1] == pytest.approx(2 * widths[0])
+    assert widths[2] == pytest.approx(4 * widths[0])
+
+
+def test_constant_overdrive_along_taper(tx):
+    stages = tx.driver.stages()
+    vovs = [s.input_pair.v_overdrive for s in stages]
+    assert vovs[1] == pytest.approx(vovs[0], rel=1e-6)
+    assert vovs[2] == pytest.approx(vovs[0], rel=1e-6)
+
+
+def test_output_swing_into_terminated_line(tx):
+    # 8 mA into 50||50 = 25 ohm: 200 mV single-ended, 400 mV diff pp.
+    assert tx.driver.effective_load_ohm == pytest.approx(25.0)
+    assert tx.driver.output_swing_pp == pytest.approx(0.200)
+    assert tx.driver.differential_swing_pp == pytest.approx(0.400)
+
+
+def test_driver_bandwidth_supports_10gbps(tx):
+    assert tx.driver.bandwidth_3db() > 7e9
+
+
+def test_driver_drives_prbs_to_full_swing(tx):
+    wave = bits_to_nrz(prbs7(120), 10e9, amplitude=0.4, samples_per_bit=16)
+    out = tx.driver.process(wave).skip(200)
+    # Differential amplitude limit = I*R = 200 mV.
+    assert out.peak_to_peak() == pytest.approx(0.4, rel=0.1)
+
+
+def test_driver_small_signal_tf_stable(tx):
+    assert tx.driver.small_signal_tf().is_stable()
+
+
+def test_supply_current_is_taper_sum(tx):
+    # 2 + 4 + 8 mA plus the feedback shares.
+    total = tx.driver.supply_current
+    assert 0.014 <= total <= 0.017
+
+
+def test_taper_validation():
+    first = build_output_interface().driver.first_stage
+    with pytest.raises(ValueError):
+        TaperedDriver(first_stage=first, taper_ratio=0.0)
+    with pytest.raises(ValueError):
+        TaperedDriver(first_stage=first, n_stages=0)
+    with pytest.raises(ValueError):
+        TaperedDriver(first_stage=first, line_impedance=-50.0)
+
+
+def test_single_stage_driver():
+    first = build_output_interface().driver.first_stage
+    driver = TaperedDriver(first_stage=first, n_stages=1)
+    assert driver.output_current == pytest.approx(first.tail_current)
+    assert len(driver.stages()) == 1
+
+
+# -- level shifter ----------------------------------------------------------
+
+def test_level_shifter_gain_slightly_below_unity():
+    shifter = LevelShifter(follower=nmos(20e-6, 0.18e-6, 0.5e-3))
+    assert 0.8 <= shifter.gain < 1.0
+
+
+def test_level_shifter_pole_above_data_band():
+    shifter = LevelShifter(follower=nmos(20e-6, 0.18e-6, 0.5e-3))
+    assert shifter.pole_hz > 10e9
+
+
+def test_level_shifter_passes_waveform():
+    shifter = LevelShifter(follower=nmos(20e-6, 0.18e-6, 0.5e-3))
+    wave = bits_to_nrz(prbs7(60), 10e9, amplitude=0.2, samples_per_bit=16)
+    out = shifter.process(wave).skip(100)
+    assert out.peak_to_peak() == pytest.approx(
+        shifter.gain * 0.2, rel=0.05
+    )
+
+
+def test_level_shifter_supply_current():
+    shifter = LevelShifter(follower=nmos(20e-6, 0.18e-6, 0.5e-3))
+    assert shifter.supply_current == pytest.approx(1e-3)

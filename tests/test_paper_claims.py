@@ -1,0 +1,165 @@
+"""Integration tests pinning every quantitative claim in the paper.
+
+One test per claim, labelled with the paper section it comes from.
+These are the repository's reproduction contract: if a refactor breaks a
+headline number, it fails here with the claim spelled out.
+"""
+
+import pytest
+
+from repro import (
+    BackplaneChannel,
+    bits_to_nrz,
+    build_input_interface,
+    build_io_interface,
+    build_output_interface,
+    prbs7,
+)
+from repro.analysis import EyeDiagram, measure_dynamic_range
+from repro.baselines import paper_style_comparison
+from repro.core import BetaMultiplierReference
+
+
+BIT_RATE = 10e9
+
+
+def eye_of(wave):
+    return EyeDiagram.measure_waveform(wave, BIT_RATE, skip_ui=16)
+
+
+def test_claim_10gbps_operation_with_prbs7():
+    """Abstract: '10 Gb/s operation' with 2^7-1 PRBS (Fig 14 setup)."""
+    rx = build_input_interface()
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.1,
+                       samples_per_bit=16)
+    m = eye_of(rx.process(wave))
+    assert m.is_open
+    assert m.eye_width_ui > 0.7
+
+
+def test_claim_total_power_70mw():
+    """Abstract: 'total power consumption of the I/O interface is only
+    70 mW'."""
+    power_mw = build_io_interface().budget().total_power_w() * 1e3
+    assert power_mw == pytest.approx(70.0, rel=0.10)
+
+
+def test_claim_areas():
+    """Abstract/Section IV: input 0.02 mm^2, output 0.008 mm^2, core
+    0.028 mm^2."""
+    rx = build_input_interface()
+    tx = build_output_interface()
+    assert rx.budget().total_area_mm2() == pytest.approx(0.02, rel=0.01)
+    assert tx.budget().total_area_mm2() == pytest.approx(0.008, rel=0.01)
+    total = build_io_interface().budget().total_area_mm2()
+    assert total == pytest.approx(0.028, rel=0.01)
+
+
+def test_claim_area_reduction_80_percent():
+    """Abstract: 'reduce 80 % of the circuit area compared to the
+    circuit area with on-chip inductors'."""
+    assert paper_style_comparison().reduction_percent >= 70.0
+
+
+def test_claim_40db_dc_gain():
+    """Table I: DC gain (differential) 40 dB."""
+    assert build_input_interface().dc_gain_db() == pytest.approx(40.0,
+                                                                 abs=2.5)
+
+
+def test_claim_9p5ghz_bandwidth():
+    """Table I: bandwidth (-3 dB) 9.5 GHz."""
+    assert build_input_interface().bandwidth_3db() == pytest.approx(
+        9.5e9, rel=0.10
+    )
+
+
+def test_claim_4mv_sensitivity_and_40db_dynamic_range():
+    """Abstract: '10 Gb/s with 40 dB input dynamic range and 4 mV input
+    sensitivity'."""
+    rx = build_input_interface()
+    result = measure_dynamic_range(rx.process, full_swing=rx.output_swing,
+                                   n_bits=150)
+    assert result.sensitivity_vpp <= 6e-3
+    assert result.dynamic_range_db >= 40.0
+
+
+def test_claim_overload_1v8_input():
+    """Fig 14(b): clean eye at 1.8 V pp input (the overload end)."""
+    rx = build_input_interface()
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=1.8,
+                       samples_per_bit=16)
+    m = eye_of(rx.process(wave))
+    assert m.is_open
+    assert m.eye_width_ui > 0.6
+
+
+def test_claim_250mv_output_swing():
+    """Fig 14: 'output signals ... are up to 250 mV' (the LA limit)."""
+    rx = build_input_interface()
+    assert rx.output_swing == pytest.approx(0.25)
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.1,
+                       samples_per_bit=16)
+    m = eye_of(rx.process(wave))
+    assert m.eye_amplitude == pytest.approx(2 * 0.25, rel=0.15)
+
+
+def test_claim_8ma_driver():
+    """Section II-B: 'approximately 8 mA driving current in order to
+    drive 50 ohm load'."""
+    assert build_output_interface().output_current == pytest.approx(8e-3)
+
+
+def test_claim_equalizer_opens_channel_eye():
+    """Fig 15: equalizer restores the eye after the backplane."""
+    channel = BackplaneChannel(0.5)
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.2,
+                       samples_per_bit=16)
+    received = channel.process(wave)
+    with_eq = build_input_interface(equalizer_control_voltage=0.55)
+    without_eq = build_input_interface().without_equalizer()
+    m_with = eye_of(with_eq.process(received))
+    m_without = eye_of(without_eq.process(received))
+    assert m_with.eye_width_ui > m_without.eye_width_ui + 0.1
+    assert m_with.jitter_pp < 0.6 * m_without.jitter_pp
+
+
+def test_claim_peaking_compensates_channel():
+    """Fig 16: voltage peaking improves the transmitted signal after
+    the channel."""
+    channel = BackplaneChannel(0.5)
+    wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    with_peaking = channel.process(
+        build_output_interface(peaking_enabled=True).process(wave)
+    )
+    without = channel.process(
+        build_output_interface(peaking_enabled=False).process(wave)
+    )
+    assert eye_of(with_peaking).eye_height > eye_of(without).eye_height
+
+
+def test_claim_peaking_tuning_range_20_percent():
+    """Section II-B: 'tunable delay to alter the voltage-peaking tuning
+    range up to 20 %'."""
+    tx = build_output_interface()
+    delay = tx.peaking.differentiator.delay
+    assert delay.tuned(1.0 / 1.2).tuning_fraction() == pytest.approx(0.2)
+
+
+def test_claim_bandgap_specs():
+    """Section III-E: TC < 550 ppm/C, supply sensitivity < 26 mV/V,
+    trim within 10 mV."""
+    bmvr = BetaMultiplierReference()
+    assert bmvr.temperature_coefficient_ppm(-40.0, 125.0) < 550.0
+    assert bmvr.supply_sensitivity_mv_per_v(1.6, 2.0) < 26.0
+    _, error = bmvr.trim_to(bmvr.reference_voltage() + 0.008)
+    assert abs(error) <= 10e-3
+
+
+def test_claim_50ohm_input_match():
+    """Section II-A: 'input equalizer is for 50 ohm input impedance
+    matching'."""
+    eq = build_input_interface().equalizer
+    assert eq.input_impedance() == pytest.approx(50.0, rel=0.1)
+    assert eq.input_return_loss_db() > 15.0

@@ -1,0 +1,89 @@
+"""Power/area ledger."""
+
+import pytest
+
+from repro.core import MM2, BudgetEntry, PowerAreaBudget
+
+
+def test_entry_power():
+    entry = BudgetEntry("x", current_a=10e-3, area_m2=0.001 * MM2)
+    assert entry.power_w(1.8) == pytest.approx(18e-3)
+    with pytest.raises(ValueError):
+        entry.power_w(0.0)
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        BudgetEntry("x", current_a=-1e-3, area_m2=0.0)
+    with pytest.raises(ValueError):
+        BudgetEntry("x", current_a=1e-3, area_m2=-1.0)
+
+
+def test_budget_totals():
+    budget = PowerAreaBudget(vdd=1.8)
+    budget.add("a", 10e-3, 0.01 * MM2)
+    budget.add("b", 20e-3, 0.02 * MM2)
+    assert budget.total_current_a() == pytest.approx(30e-3)
+    assert budget.total_power_w() == pytest.approx(54e-3)
+    assert budget.total_area_mm2() == pytest.approx(0.03)
+
+
+def test_duplicate_names_rejected():
+    budget = PowerAreaBudget()
+    budget.add("a", 1e-3, 0.0)
+    with pytest.raises(ValueError):
+        budget.add("a", 1e-3, 0.0)
+
+
+def test_breakdown_units():
+    budget = PowerAreaBudget(vdd=2.0)
+    budget.add("a", 5e-3, 0.004 * MM2)
+    row = budget.breakdown()["a"]
+    assert row["current_ma"] == pytest.approx(5.0)
+    assert row["power_mw"] == pytest.approx(10.0)
+    assert row["area_mm2"] == pytest.approx(0.004)
+
+
+def test_merge_with_prefix():
+    a = PowerAreaBudget()
+    a.add("x", 1e-3, 0.0)
+    b = PowerAreaBudget()
+    b.add("x", 2e-3, 0.0)
+    merged = a.merged(b, prefix="tx-")
+    assert merged.total_current_a() == pytest.approx(3e-3)
+    names = [e.name for e in merged.entries]
+    assert "tx-x" in names
+
+
+def test_merge_rejects_vdd_mismatch():
+    a = PowerAreaBudget(vdd=1.8)
+    b = PowerAreaBudget(vdd=2.5)
+    with pytest.raises(ValueError):
+        a.merged(b)
+
+
+def test_area_reduction():
+    active = PowerAreaBudget()
+    active.add("core", 10e-3, 0.028 * MM2)
+    spiral = PowerAreaBudget()
+    spiral.add("core", 10e-3, 0.14 * MM2)
+    assert active.area_reduction_vs(spiral) == pytest.approx(0.8)
+
+
+def test_area_reduction_rejects_zero_baseline():
+    a = PowerAreaBudget()
+    a.add("x", 1e-3, 1.0)
+    empty = PowerAreaBudget()
+    with pytest.raises(ValueError):
+        a.area_reduction_vs(empty)
+
+
+def test_extend():
+    budget = PowerAreaBudget()
+    budget.extend([BudgetEntry("a", 1e-3, 0.0), BudgetEntry("b", 2e-3, 0.0)])
+    assert len(budget.entries) == 2
+
+
+def test_vdd_validation():
+    with pytest.raises(ValueError):
+        PowerAreaBudget(vdd=0.0)

@@ -1,0 +1,168 @@
+"""RLGC transmission line physics and crosstalk aggressors."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    BackplaneChannel,
+    CrosstalkAggressor,
+    CrosstalkChannel,
+    RlgcLine,
+    microstrip_like,
+)
+from repro.analysis import EyeDiagram
+from repro.signals import bits_to_nrz, prbs7
+
+BIT_RATE = 10e9
+
+
+def line_half_metre():
+    return microstrip_like(length=0.5)
+
+
+# -- RLGC -----------------------------------------------------------------
+
+def test_z0_is_50_ohm_by_construction():
+    line = line_half_metre()
+    assert line.z0_nominal == pytest.approx(50.0, rel=1e-6)
+    z0 = line.characteristic_impedance(np.array([5e9]))
+    assert abs(z0[0]) == pytest.approx(50.0, rel=0.05)
+
+
+def test_delay_matches_er_eff():
+    line = line_half_metre()
+    # v = c/sqrt(3): 0.5 m in ~2.9 ns.
+    assert line.delay == pytest.approx(0.5 * np.sqrt(3.0) / 2.998e8,
+                                       rel=1e-6)
+
+
+def test_loss_increases_with_frequency():
+    line = line_half_metre()
+    f = np.array([1e9, 5e9, 10e9])
+    loss = line.loss_db(f)
+    assert np.all(np.diff(loss) > 0)
+    assert 5.0 < loss[1] < 40.0  # a lossy half metre of FR-4 at 5 GHz
+
+
+def test_gamma_has_decaying_real_part():
+    line = line_half_metre()
+    gamma = line.gamma(np.array([1e9, 10e9]))
+    assert np.all(gamma.real > 0)
+    assert np.all(gamma.imag > 0)
+
+
+def test_matched_input_impedance_is_z0():
+    line = line_half_metre()
+    f = np.array([2e9, 8e9])
+    z0 = line.characteristic_impedance(f)
+    zin = line.input_impedance(f, z_load=50.0)
+    np.testing.assert_allclose(np.abs(zin), np.abs(z0), rtol=0.1)
+
+
+def test_open_line_input_impedance_large_at_low_freq():
+    line = microstrip_like(length=0.01)  # short stub
+    zin = line.input_impedance(np.array([1e8]), z_load=1e9)
+    assert abs(zin[0]) > 300.0
+
+
+def test_mismatched_transfer_shows_ripple():
+    line = line_half_metre()
+    f = np.linspace(1e9, 10e9, 200)
+    matched = np.abs(line.transfer_mismatched(f, 50.0, 50.0))
+    mismatched = np.abs(line.transfer_mismatched(f, 20.0, 120.0))
+    # Reflections create frequency ripple absent in the matched case.
+    ripple_matched = np.std(np.diff(np.log(matched)))
+    ripple_mismatched = np.std(np.diff(np.log(mismatched)))
+    assert ripple_mismatched > 1.5 * ripple_matched
+
+
+def test_equivalent_parameters_bridge():
+    line = line_half_metre()
+    params = line.equivalent_parameters()
+    channel = BackplaneChannel(0.5, params=params)
+    f = np.linspace(1e9, 9e9, 15)
+    np.testing.assert_allclose(channel.loss_db(f), line.loss_db(f),
+                               rtol=0.25, atol=1.0)
+
+
+def test_rlgc_validation():
+    with pytest.raises(ValueError):
+        RlgcLine(r_dc=1.0, r_skin=1e-4, inductance=0.0,
+                 capacitance=1e-10, tan_delta=0.02, length=0.5)
+    with pytest.raises(ValueError):
+        RlgcLine(r_dc=-1.0, r_skin=1e-4, inductance=3e-7,
+                 capacitance=1e-10, tan_delta=0.02, length=0.5)
+    with pytest.raises(ValueError):
+        microstrip_like(length=0.0)
+    line = line_half_metre()
+    with pytest.raises(ValueError):
+        line.input_impedance(np.array([1e9]), z_load=-1.0)
+
+
+# -- crosstalk -----------------------------------------------------------
+
+def victim_and_aggressor(coupling_db=20.0, is_fext=True):
+    victim_wave = bits_to_nrz(prbs7(260), BIT_RATE, amplitude=0.25,
+                              samples_per_bit=16)
+    aggressor_wave = bits_to_nrz(prbs7(260, seed=9), BIT_RATE,
+                                 amplitude=0.25, samples_per_bit=16)
+    channel = CrosstalkChannel(
+        channel=BackplaneChannel(0.3),
+        aggressors=[CrosstalkAggressor(signal=aggressor_wave,
+                                       coupling_db=coupling_db,
+                                       is_fext=is_fext)],
+    )
+    return victim_wave, channel
+
+
+def test_crosstalk_closes_the_eye():
+    victim, noisy_channel = victim_and_aggressor(coupling_db=14.0)
+    clean_channel = BackplaneChannel(0.3)
+    m_clean = EyeDiagram.measure_waveform(clean_channel.process(victim),
+                                          BIT_RATE, skip_ui=16)
+    m_noisy = EyeDiagram.measure_waveform(noisy_channel.process(victim),
+                                          BIT_RATE, skip_ui=16)
+    assert m_noisy.eye_height < m_clean.eye_height
+
+
+def test_weaker_coupling_hurts_less():
+    victim, strong = victim_and_aggressor(coupling_db=14.0)
+    _, weak = victim_and_aggressor(coupling_db=34.0)
+    m_strong = EyeDiagram.measure_waveform(strong.process(victim),
+                                           BIT_RATE, skip_ui=16)
+    m_weak = EyeDiagram.measure_waveform(weak.process(victim),
+                                         BIT_RATE, skip_ui=16)
+    assert m_weak.eye_height > m_strong.eye_height
+    assert weak.interference_rms() < strong.interference_rms()
+
+
+def test_next_bypasses_channel_attenuation():
+    victim, fext = victim_and_aggressor(coupling_db=20.0, is_fext=True)
+    _, next_ = victim_and_aggressor(coupling_db=20.0, is_fext=False)
+    # NEXT arrives unattenuated: more interference at equal coupling.
+    assert next_.interference_rms() > fext.interference_rms()
+
+
+def test_no_aggressors_is_plain_channel():
+    victim = bits_to_nrz(prbs7(100), BIT_RATE, samples_per_bit=16)
+    bare = CrosstalkChannel(channel=BackplaneChannel(0.3))
+    plain = BackplaneChannel(0.3)
+    np.testing.assert_allclose(bare.process(victim).data,
+                               plain.process(victim).data)
+    assert bare.interference_rms() == 0.0
+
+
+def test_crosstalk_validation():
+    wave = bits_to_nrz(prbs7(50), BIT_RATE, samples_per_bit=16)
+    with pytest.raises(ValueError):
+        CrosstalkAggressor(signal=wave, coupling_db=-3.0)
+    with pytest.raises(ValueError):
+        CrosstalkAggressor(signal=wave, coupling_db=20.0, nyquist_hz=0.0)
+    short = bits_to_nrz(prbs7(30), BIT_RATE, samples_per_bit=16)
+    channel = CrosstalkChannel(
+        channel=BackplaneChannel(0.3),
+        aggressors=[CrosstalkAggressor(signal=short, coupling_db=20.0)],
+    )
+    victim = bits_to_nrz(prbs7(100), BIT_RATE, samples_per_bit=16)
+    with pytest.raises(ValueError):
+        channel.process(victim)

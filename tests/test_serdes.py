@@ -1,0 +1,165 @@
+"""8b/10b coding and the framed serializer/deserializer link."""
+
+import numpy as np
+import pytest
+
+from repro.serdes import (
+    CodingError,
+    Decoder8b10b,
+    Deserializer,
+    Encoder8b10b,
+    Serializer,
+    align_to_comma,
+    decode_bits,
+    encode_bytes,
+    run_link,
+)
+
+
+def max_run_length(bits):
+    best = current = 1
+    for a, b in zip(bits, bits[1:]):
+        current = current + 1 if a == b else 1
+        best = max(best, current)
+    return best
+
+
+# -- 8b/10b -----------------------------------------------------------------
+
+def test_all_bytes_roundtrip_both_disparities():
+    decoder = Decoder8b10b()
+    for value in range(256):
+        for rd in (-1, 1):
+            encoder = Encoder8b10b()
+            encoder.running_disparity = rd
+            bits = encoder.encode_symbol(value)
+            assert len(bits) == 10
+            decoded, is_control = decoder.decode_symbol(bits)
+            assert decoded == value
+            assert not is_control
+
+
+def test_comma_roundtrip():
+    decoder = Decoder8b10b()
+    for rd in (-1, 1):
+        encoder = Encoder8b10b()
+        encoder.running_disparity = rd
+        bits = encoder.encode_symbol(0xBC, control=True)
+        decoded, is_control = decoder.decode_symbol(bits)
+        assert decoded == 0xBC
+        assert is_control
+
+
+def test_stream_roundtrip_random_payload():
+    rng = np.random.default_rng(7)
+    payload = bytes(rng.integers(0, 256, 300).tolist())
+    assert decode_bits(encode_bytes(payload)) == payload
+
+
+def test_run_length_bounded():
+    # The code's reason to exist: max run of 5 even for worst payloads.
+    for payload in (b"\x00" * 64, b"\xff" * 64, bytes(range(256))):
+        bits = encode_bytes(payload)
+        assert max_run_length(bits.tolist()) <= 5
+
+
+def test_dc_balance():
+    rng = np.random.default_rng(3)
+    payload = bytes(rng.integers(0, 256, 500).tolist())
+    bits = encode_bytes(payload)
+    assert abs(float(bits.mean()) - 0.5) < 0.01
+    disparity = np.cumsum(2 * bits.astype(int) - 1)
+    assert np.max(np.abs(disparity)) <= 6
+
+
+def test_invalid_group_detected():
+    decoder = Decoder8b10b()
+    with pytest.raises(CodingError):
+        decoder.decode_symbol(np.ones(10, dtype=np.int8))  # run of 10
+
+
+def test_encoder_validation():
+    encoder = Encoder8b10b()
+    with pytest.raises(CodingError):
+        encoder.encode_symbol(300)
+    with pytest.raises(CodingError):
+        encoder.encode_symbol(0x00, control=True)  # only K28.5
+
+
+def test_decoder_validation():
+    with pytest.raises(CodingError):
+        Decoder8b10b().decode_symbol(np.zeros(8, dtype=np.int8))
+    with pytest.raises(CodingError):
+        decode_bits(np.zeros(15, dtype=np.int8))
+
+
+# -- alignment --------------------------------------------------------------
+
+def test_comma_found_at_any_offset():
+    bits = encode_bytes(b"\x11\x22\x33", prepend_commas=1)
+    for shift in (0, 3, 7):
+        padded = np.concatenate([np.zeros(shift, dtype=np.int8), bits])
+        offset = align_to_comma(padded)
+        assert offset == shift
+
+
+def test_no_comma_returns_none():
+    assert align_to_comma(np.zeros(50, dtype=np.int8)) is None
+
+
+def test_deserializer_aligns_and_decodes():
+    payload = b"hello, backplane"
+    bits = encode_bytes(payload, prepend_commas=3)
+    # Simulate unknown CDR latency: prepend garbage bits.
+    stream = np.concatenate([np.array([0, 1, 0, 1, 1], dtype=np.int8),
+                             bits])
+    assert Deserializer().deserialize(stream) == payload
+
+
+def test_deserializer_without_comma_raises():
+    with pytest.raises(CodingError):
+        Deserializer().deserialize(np.zeros(100, dtype=np.int8))
+
+
+# -- full framed link ---------------------------------------------------------
+
+def test_serializer_waveform_properties():
+    serializer = Serializer(bit_rate=10e9, samples_per_bit=16,
+                            amplitude=0.25)
+    wave = serializer.serialize(b"\xaa\x55")
+    assert wave.sample_rate == pytest.approx(160e9)
+    assert wave.peak_to_peak() == pytest.approx(0.25, rel=0.05)
+    assert serializer.line_rate_overhead == pytest.approx(1.25)
+    with pytest.raises(ValueError):
+        serializer.serialize(b"")
+
+
+def test_link_error_free_over_ideal_path():
+    report = run_link(b"0123456789abcdef" * 4, analog_path=lambda w: w)
+    assert report.cdr_locked
+    assert report.error_free
+    assert report.byte_errors == 0
+
+
+def test_link_error_free_through_receiver_and_channel():
+    from repro.channel import BackplaneChannel
+    from repro.core import build_input_interface
+
+    rx = build_input_interface(equalizer_control_voltage=0.6)
+    channel = BackplaneChannel(0.3)
+
+    report = run_link(bytes(range(100)),
+                      analog_path=lambda w: rx.process(channel.process(w)))
+    assert report.cdr_locked
+    assert report.error_free
+    assert report.recovered_jitter_ui < 0.1
+
+
+def test_link_fails_gracefully_when_eye_closed():
+    from repro.channel import BackplaneChannel
+
+    # A destroyed channel: the CDR may lock onto garbage but the
+    # decoder's error detection reports the payload as corrupt.
+    brutal = BackplaneChannel(1.5)
+    report = run_link(bytes(range(60)), analog_path=brutal.process)
+    assert not report.error_free

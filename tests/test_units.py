@@ -1,0 +1,86 @@
+"""Unit helpers and constants."""
+
+import math
+
+import pytest
+
+from repro._units import (
+    GIGA,
+    MICRO,
+    ROOM_TEMPERATURE,
+    celsius_to_kelvin,
+    db,
+    db_power,
+    dbm_to_vpp,
+    from_db,
+    kelvin_to_celsius,
+    thermal_voltage,
+    vpp_to_dbm,
+)
+
+
+def test_prefix_values():
+    assert GIGA == 1e9
+    assert MICRO == 1e-6
+
+
+def test_thermal_voltage_at_room_temperature():
+    # kT/q at 300.15 K is ~25.9 mV.
+    assert thermal_voltage() == pytest.approx(25.9e-3, rel=0.01)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert thermal_voltage(600.0) == pytest.approx(
+        2.0 * thermal_voltage(300.0)
+    )
+
+
+def test_thermal_voltage_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        thermal_voltage(0.0)
+
+
+def test_celsius_kelvin_roundtrip():
+    assert kelvin_to_celsius(celsius_to_kelvin(27.0)) == pytest.approx(27.0)
+    assert ROOM_TEMPERATURE == pytest.approx(celsius_to_kelvin(27.0))
+
+
+def test_db_and_from_db_are_inverse():
+    for ratio in (0.01, 0.5, 1.0, 3.16, 100.0):
+        assert from_db(db(ratio)) == pytest.approx(ratio)
+
+
+def test_db_of_ten_is_twenty():
+    assert db(10.0) == pytest.approx(20.0)
+    assert db_power(10.0) == pytest.approx(10.0)
+
+
+def test_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        db(0.0)
+    with pytest.raises(ValueError):
+        db_power(-1.0)
+
+
+def test_dbm_conversion_roundtrip():
+    for dbm in (-10.0, 0.0, 4.0):
+        assert vpp_to_dbm(dbm_to_vpp(dbm)) == pytest.approx(dbm)
+
+
+def test_zero_dbm_is_632mvpp_into_50ohm():
+    assert dbm_to_vpp(0.0) == pytest.approx(0.632, rel=0.01)
+
+
+def test_vpp_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        vpp_to_dbm(0.0)
+
+
+def test_thermal_voltage_monotone_in_temperature():
+    temps = [250.0, 300.0, 350.0, 400.0]
+    values = [thermal_voltage(t) for t in temps]
+    assert values == sorted(values)
+
+
+def test_db_power_half_is_minus_3db():
+    assert db_power(0.5) == pytest.approx(-3.0103, abs=1e-3)
