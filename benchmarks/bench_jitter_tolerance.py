@@ -4,9 +4,16 @@ A receiver + CDR must track low-frequency sinusoidal jitter (the loop
 follows it) and absorb high-frequency jitter within its eye margin —
 producing the standard jitter-tolerance "template": large tolerable SJ
 amplitude at low frequency, flattening to a fraction of a UI above the
-loop bandwidth.  The paper's LA feeds exactly such a CDR; this bench
-sweeps SJ frequency, bisects the maximum tolerable amplitude at each,
-and asserts the template shape.
+loop bandwidth.  The paper's LA feeds exactly such a CDR.
+
+The sweep subsystem executes the template as a declarative grid:
+(SJ frequency x SJ amplitude) are batchable axes — every point is a
+stimulus variation on the same receiver — so the runner stacks all
+jittered patterns into one :class:`~repro.signals.WaveformBatch` and the
+per-point CDR recovery is the only serial work left.  The tolerance at
+each frequency is the largest amplitude on the grid with an error-free
+run (amplitudes above the first failure do not count, mirroring the
+bisection this replaces).
 """
 
 import numpy as np
@@ -15,24 +22,34 @@ from conftest import run_once
 from repro.cdr import BangBangCdr, CdrConfig
 from repro.reporting import format_table
 from repro.signals import NrzEncoder, SinusoidalJitter, prbs7
+from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner
 
 BIT_RATE = 10e9
 N_BITS = 700
 
+#: Geometric amplitude ladder (UI): the grid replaces the old bisection;
+#: resolution is one rung (~1.4x).
+AMPLITUDES_UI = (0.01, 0.05, 0.1, 0.15, 0.22, 0.33, 0.5, 0.7, 1.0,
+                 1.4, 2.0, 2.8, 4.0)
 
-def error_free_at(sj_amplitude_ui: float, sj_freq: float) -> bool:
-    """Does the CDR recover the pattern under this SJ?"""
+
+def make_stimulus(params):
+    """A jittered PRBS pattern for one (frequency, amplitude) point."""
     encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
                          amplitude=0.4)
     bits = prbs7(N_BITS)
     jitter = SinusoidalJitter(
-        peak_seconds=sj_amplitude_ui / BIT_RATE, frequency=sj_freq
+        peak_seconds=params["sj_amplitude_ui"] / BIT_RATE,
+        frequency=params["sj_freq"],
     )
-    wave = encoder.encode(bits,
-                          edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+    return encoder.encode(bits, edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+
+
+def cdr_error_free(wave, params):
+    """Does the CDR recover the pattern from this stimulus?"""
+    bits = prbs7(N_BITS)
     config = CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-4)
-    result = BangBangCdr(config).recover(wave)
-    decisions = result.decisions
+    decisions = BangBangCdr(config).recover(wave).decisions
     errors = min(
         int(np.sum(decisions[lag:lag + 500] != bits[:500]))
         for lag in range(0, 4)
@@ -40,29 +57,34 @@ def error_free_at(sj_amplitude_ui: float, sj_freq: float) -> bool:
     return errors == 0
 
 
-def tolerance_at(sj_freq: float) -> float:
-    """Largest tolerable SJ amplitude (UI) at one frequency, bisected."""
-    lo, hi = 0.01, 4.0
-    if not error_free_at(lo, sj_freq):
-        return 0.0
-    if error_free_at(hi, sj_freq):
-        return hi
-    for _ in range(8):
-        mid = 0.5 * (lo + hi)
-        if error_free_at(mid, sj_freq):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+def tolerance_grid(frequencies, amplitudes=AMPLITUDES_UI):
+    """Tolerance (UI) per frequency from one batched sweep."""
+    grid = ScenarioGrid([
+        SweepAxis("sj_freq", tuple(frequencies)),
+        SweepAxis("sj_amplitude_ui", tuple(amplitudes)),
+    ])
+    result = SweepRunner(grid, stimulus=make_stimulus,
+                         measure=cdr_error_free).run()
+    ok = result.values(float)  # (n_freq, n_amp) of 0/1
+    tolerances = []
+    for row in ok:
+        passed = 0.0
+        for amplitude, good in zip(amplitudes, row):
+            if not good:
+                break
+            passed = amplitude
+        tolerances.append(passed)
+    return tolerances
 
 
 def test_jitter_tolerance_template(benchmark, save_report):
     frequencies = (1e6, 10e6, 100e6, 1e9)
 
     def sweep():
+        tolerances = tolerance_grid(frequencies)
         return [{"SJ freq (MHz)": f / 1e6,
-                 "tolerance (UI pp)": 2 * tolerance_at(f)}
-                for f in frequencies]
+                 "tolerance (UI pp)": 2 * tol}
+                for f, tol in zip(frequencies, tolerances)]
 
     rows = run_once(benchmark, sweep)
     save_report("jitter_tolerance", format_table(rows))
@@ -77,7 +99,8 @@ def test_jitter_tolerance_template(benchmark, save_report):
 def test_cdr_loop_bandwidth_separates_regimes(benchmark, save_report):
     """Tolerance at 1 MHz (slow, tracked) vs 1 GHz (fast, untracked)."""
     def run():
-        return 2 * tolerance_at(1e6), 2 * tolerance_at(1e9)
+        slow, fast = tolerance_grid((1e6, 1e9))
+        return 2 * slow, 2 * fast
 
     slow, fast = run_once(benchmark, run)
     save_report("jitter_tolerance_regimes", format_table([{

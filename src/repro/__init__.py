@@ -24,6 +24,7 @@ Quick start::
 from .signals import (
     Waveform,
     DifferentialWaveform,
+    WaveformBatch,
     PrbsGenerator,
     prbs7,
     prbs15,
@@ -74,7 +75,9 @@ from .core import (
 )
 from .analysis import (
     EyeDiagram,
+    EyeDiagramBatch,
     EyeMeasurement,
+    measure_eye_batch,
     measure_tf,
     measure_sensitivity,
     measure_dynamic_range,
@@ -91,12 +94,14 @@ from .baselines import (
 )
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
+from .sweep import ScenarioGrid, SweepAxis, SweepResult, SweepRunner
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Waveform",
     "DifferentialWaveform",
+    "WaveformBatch",
     "PrbsGenerator",
     "prbs7",
     "prbs15",
@@ -141,7 +146,9 @@ __all__ = [
     "build_output_interface",
     "build_io_interface",
     "EyeDiagram",
+    "EyeDiagramBatch",
     "EyeMeasurement",
+    "measure_eye_batch",
     "measure_tf",
     "measure_sensitivity",
     "measure_dynamic_range",
@@ -160,5 +167,9 @@ __all__ = [
     "Deserializer",
     "run_link",
     "LinkReport",
+    "ScenarioGrid",
+    "SweepAxis",
+    "SweepRunner",
+    "SweepResult",
     "__version__",
 ]

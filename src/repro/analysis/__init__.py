@@ -6,11 +6,17 @@ and stimulus-based), receiver sensitivity/dynamic-range sweeps and
 pulse-response ISI analysis.
 """
 
-from .eye import EyeMeasurement, EyeDiagram
+from .eye import (
+    EyeMeasurement,
+    EyeDiagram,
+    EyeDiagramBatch,
+    measure_eye_batch,
+)
 from .ber import (
     q_to_ber,
     ber_to_q,
     ber_from_eye,
+    ber_from_eye_batch,
     BathtubCurve,
     bathtub_from_waveform,
 )
@@ -29,7 +35,12 @@ from .sensitivity import (
     measure_overload,
     measure_dynamic_range,
 )
-from .isi import PulseResponse, pulse_response, worst_case_eye_opening
+from .isi import (
+    PulseResponse,
+    pulse_response,
+    pulse_response_batch,
+    worst_case_eye_opening,
+)
 from .jitter_decomposition import (
     JitterDecomposition,
     decompose_jitter,
@@ -42,9 +53,12 @@ from .bert import BertResult, check_prbs
 __all__ = [
     "EyeMeasurement",
     "EyeDiagram",
+    "EyeDiagramBatch",
+    "measure_eye_batch",
     "q_to_ber",
     "ber_to_q",
     "ber_from_eye",
+    "ber_from_eye_batch",
     "BathtubCurve",
     "bathtub_from_waveform",
     "AcMeasurement",
@@ -60,6 +74,7 @@ __all__ = [
     "measure_dynamic_range",
     "PulseResponse",
     "pulse_response",
+    "pulse_response_batch",
     "worst_case_eye_opening",
     "JitterDecomposition",
     "decompose_jitter",

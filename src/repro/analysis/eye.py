@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
+from ..signals.batch import WaveformBatch
 from ..signals.waveform import Waveform
 
-__all__ = ["EyeMeasurement", "EyeDiagram"]
+__all__ = ["EyeMeasurement", "EyeDiagram", "EyeDiagramBatch",
+           "measure_eye_batch"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -184,7 +186,10 @@ class EyeDiagram:
     # -- composite measurement ------------------------------------------------
     def measure(self) -> EyeMeasurement:
         """Full scope-style measurement at the optimum sampling phase."""
-        phase = self.best_phase_index()
+        return self.measure_at(self.best_phase_index())
+
+    def measure_at(self, phase: int) -> EyeMeasurement:
+        """Scope-style measurement at a given sampling-phase index."""
         ones, zeros = self._split_levels(phase)
         if ones.size == 0 or zeros.size == 0:
             # Degenerate (all-same-polarity) signal: report a closed eye.
@@ -203,14 +208,19 @@ class EyeDiagram:
         amplitude = level_one - level_zero
         denominator = sigma_one + sigma_zero
         q = amplitude / denominator if denominator > 0 else float("inf")
+        # One pass over the crossing distribution for all horizontal
+        # metrics (it is the costly part of a measurement).
+        times = self.crossing_times_ui()
+        jitter_rms_ui = float(np.std(times)) if times.size >= 2 else 0.0
+        jitter_pp_ui = float(np.ptp(times)) if times.size >= 2 else 0.0
         return EyeMeasurement(
             eye_height=self.eye_height_at(phase),
-            eye_width_ui=self.eye_width_ui(),
+            eye_width_ui=max(0.0, 1.0 - jitter_pp_ui),
             eye_amplitude=amplitude,
             level_one=level_one,
             level_zero=level_zero,
-            jitter_rms=self.jitter_rms_ui() * self.unit_interval,
-            jitter_pp=self.jitter_pp_ui() * self.unit_interval,
+            jitter_rms=jitter_rms_ui * self.unit_interval,
+            jitter_pp=jitter_pp_ui * self.unit_interval,
             q_factor=q,
             sampling_phase_ui=(phase + 0.5) / self.samples_per_ui,
             n_ui=self.n_ui,
@@ -225,3 +235,96 @@ class EyeDiagram:
         eye = cls(wave, bit_rate, skip_ui=skip_ui)
         del max_ui  # reserved for future windowed measurement
         return eye.measure()
+
+    @classmethod
+    def _from_folded(cls, traces: np.ndarray, bit_rate: float
+                     ) -> "EyeDiagram":
+        """Internal: wrap already-folded ``(n_ui, samples_per_ui)`` traces."""
+        eye = cls.__new__(cls)
+        eye.bit_rate = bit_rate
+        eye.unit_interval = 1.0 / bit_rate
+        eye.samples_per_ui = traces.shape[1]
+        eye.traces = traces
+        eye.n_ui = traces.shape[0]
+        return eye
+
+
+class EyeDiagramBatch:
+    """Every row of a :class:`WaveformBatch` folded at the unit interval.
+
+    The fold and the per-phase vertical-opening search — the dominant
+    cost of scope-style measurement — run vectorized across all
+    scenarios at once; each row's :class:`EyeMeasurement` is then
+    assembled through the same code path as the serial
+    :class:`EyeDiagram`, so batched results match per-waveform
+    measurements exactly.
+
+    The batch sample rate must be an integer multiple of ``bit_rate``
+    (the NRZ encoder guarantees this; batches are never resampled).
+    """
+
+    def __init__(self, batch: WaveformBatch, bit_rate: float,
+                 skip_ui: int = 8):
+        if bit_rate <= 0:
+            raise ValueError(f"bit_rate must be positive, got {bit_rate}")
+        if skip_ui < 0:
+            raise ValueError(f"skip_ui must be >= 0, got {skip_ui}")
+        samples_per_ui = batch.sample_rate / bit_rate
+        if abs(samples_per_ui - round(samples_per_ui)) > 1e-6:
+            raise ValueError(
+                "batch sample rate must be an integer multiple of the bit "
+                f"rate, got {samples_per_ui} samples/UI"
+            )
+        self.samples_per_ui = int(round(samples_per_ui))
+        if self.samples_per_ui < 4:
+            raise ValueError(
+                "need at least 4 samples per UI for eye analysis, got "
+                f"{self.samples_per_ui}"
+            )
+        self.bit_rate = bit_rate
+        self.unit_interval = 1.0 / bit_rate
+
+        data = batch.data[:, skip_ui * self.samples_per_ui:]
+        n_ui = data.shape[1] // self.samples_per_ui
+        if n_ui < 8:
+            raise ValueError(
+                f"batch too short for an eye: {n_ui} UI after skipping"
+            )
+        self.traces = data[:, : n_ui * self.samples_per_ui].reshape(
+            batch.n_scenarios, n_ui, self.samples_per_ui
+        )
+        self.n_ui = n_ui
+        self.n_scenarios = batch.n_scenarios
+
+    def eye_heights(self) -> np.ndarray:
+        """Vertical opening per (scenario, phase), shape
+        ``(n_scenarios, samples_per_ui)`` — one vectorized pass."""
+        ones_mask = self.traces > 0
+        ones_min = np.min(np.where(ones_mask, self.traces, np.inf), axis=1)
+        zeros_max = np.max(np.where(ones_mask, -np.inf, self.traces), axis=1)
+        valid = ones_mask.any(axis=1) & (~ones_mask).any(axis=1)
+        return np.where(valid, ones_min - zeros_max, -np.inf)
+
+    def best_phase_indices(self) -> np.ndarray:
+        """Per-scenario sampling phase maximizing the vertical opening."""
+        return np.argmax(self.eye_heights(), axis=1)
+
+    def measure_all(self) -> List[EyeMeasurement]:
+        """One :class:`EyeMeasurement` per scenario."""
+        phases = self.best_phase_indices()
+        return [
+            EyeDiagram._from_folded(self.traces[row], self.bit_rate)
+            .measure_at(int(phases[row]))
+            for row in range(self.n_scenarios)
+        ]
+
+
+def measure_eye_batch(batch: WaveformBatch, bit_rate: float,
+                      skip_ui: int = 8) -> List[EyeMeasurement]:
+    """One-call batched fold-and-measure: one measurement per scenario.
+
+    Equivalent to ``[EyeDiagram.measure_waveform(row, bit_rate, skip_ui)
+    for row in batch.rows()]`` but with the folding and phase search
+    vectorized across the whole batch.
+    """
+    return EyeDiagramBatch(batch, bit_rate, skip_ui=skip_ui).measure_all()

@@ -65,7 +65,7 @@ class FirPreEmphasis(Block):
     def process(self, wave: Waveform) -> Waveform:
         """Apply the FIR with baud-spaced (UI) tap delays."""
         ui = 1.0 / self.bit_rate
-        out = np.zeros(len(wave))
+        out = np.zeros_like(wave.data)
         for index, tap in enumerate(self.taps):
             if tap == 0.0:
                 continue

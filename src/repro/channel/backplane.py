@@ -159,20 +159,25 @@ class BackplaneChannel(Block):
         skin-effect tail never wraps around.  The link is assumed to
         have idled at the waveform's first value before time zero
         (steady state), so no artificial start-up step appears.
+
+        A :class:`~repro.signals.batch.WaveformBatch` is convolved along
+        its sample axis in one pass, each row idling at its own first
+        value.
         """
         if self.length_m == 0:
             return wave
         data = wave.data
-        n = len(data)
+        n = data.shape[-1]
         if n == 0:
             return wave
-        x0 = data[0]
+        x0 = data[..., :1]
         deviation = data - x0
 
         h_t = self._impulse_response(wave.dt, min_length=n)
         from scipy.signal import fftconvolve
 
-        filtered = fftconvolve(deviation, h_t)[:n]
+        h = h_t if data.ndim == 1 else h_t[np.newaxis, :]
+        filtered = fftconvolve(deviation, h, axes=-1)[..., :n]
         dc_gain = float(np.sum(h_t))
         out = filtered + x0 * dc_gain
         return wave.with_data(out)

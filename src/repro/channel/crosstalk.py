@@ -95,15 +95,17 @@ class CrosstalkChannel(Block):
     def process(self, wave: Waveform) -> Waveform:
         victim = self.channel.process(wave)
         total = victim.data.copy()
+        n_samples = victim.data.shape[-1]
         for aggressor in self.aggressors:
             interference = aggressor.coupled_waveform(
                 self.channel if aggressor.is_fext else None
             )
-            if len(interference) != len(victim):
+            if len(interference) != n_samples:
                 raise ValueError(
                     "aggressor waveform length "
-                    f"{len(interference)} != victim {len(victim)}"
+                    f"{len(interference)} != victim {n_samples}"
                 )
+            # Broadcasts across the rows of a WaveformBatch victim.
             total = total + interference.data
         return victim.with_data(total)
 

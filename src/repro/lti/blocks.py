@@ -7,6 +7,13 @@ simulated by bilinear discretization; nonlinear stages combine linear
 dynamics with static nonlinearities (the Wiener-Hammerstein structure),
 which captures the dominant behaviour of CML stages: linear pole/zero
 dynamics around a tanh-limiting differential pair.
+
+Every block is batch-transparent: passing a
+:class:`~repro.signals.batch.WaveformBatch` instead of a single
+:class:`~repro.signals.waveform.Waveform` processes all scenarios in one
+vectorized pass (the batch mirrors the waveform API, and
+:func:`~repro.lti.discretize.simulate_tf` filters 2-D data along the
+last axis), with each row numerically identical to its serial run.
 """
 
 from __future__ import annotations
@@ -199,7 +206,8 @@ class SummingNode(Block):
             )
 
     def process(self, wave: Waveform) -> Waveform:
-        total = wave.data.copy() if self.include_input else np.zeros(len(wave))
+        total = (wave.data.copy() if self.include_input
+                 else np.zeros_like(wave.data))
         weights = self.weights or [1.0] * len(self.branches)
         for weight, branch in zip(weights, self.branches):
             total = total + weight * branch.process(wave).data

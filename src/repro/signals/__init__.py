@@ -6,6 +6,7 @@ time, jitter and noise) that every eye-diagram experiment consumes.
 """
 
 from .waveform import Waveform, DifferentialWaveform
+from .batch import WaveformBatch
 from .prbs import (
     PrbsGenerator,
     prbs_sequence,
@@ -24,11 +25,18 @@ from .jitter import (
     JitterBudget,
     dual_dirac_total_jitter,
 )
-from .noise import WhiteNoise, thermal_noise_rms, add_awgn, snr_db
+from .noise import (
+    WhiteNoise,
+    thermal_noise_rms,
+    add_awgn,
+    add_awgn_batch,
+    snr_db,
+)
 
 __all__ = [
     "Waveform",
     "DifferentialWaveform",
+    "WaveformBatch",
     "PrbsGenerator",
     "prbs_sequence",
     "prbs7",
@@ -48,5 +56,6 @@ __all__ = [
     "WhiteNoise",
     "thermal_noise_rms",
     "add_awgn",
+    "add_awgn_batch",
     "snr_db",
 ]

@@ -17,9 +17,11 @@ from typing import Optional
 import numpy as np
 
 from .._units import BOLTZMANN, ROOM_TEMPERATURE
+from .batch import WaveformBatch
 from .waveform import Waveform
 
-__all__ = ["WhiteNoise", "thermal_noise_rms", "add_awgn", "snr_db"]
+__all__ = ["WhiteNoise", "thermal_noise_rms", "add_awgn", "add_awgn_batch",
+           "snr_db"]
 
 
 @dataclasses.dataclass
@@ -89,6 +91,16 @@ def add_awgn(wave: Waveform, rms_volts: float,
              seed: Optional[int] = None) -> Waveform:
     """Convenience: add white Gaussian noise of the given RMS to a wave."""
     return WhiteNoise(rms_volts=rms_volts, seed=seed).apply(wave)
+
+
+def add_awgn_batch(wave: Waveform, rms_volts: float,
+                   seeds) -> WaveformBatch:
+    """One noisy scenario per seed, stacked into a batch.
+
+    Row ``i`` equals ``add_awgn(wave, rms_volts, seed=seeds[i])`` exactly,
+    so batched noise sweeps reproduce their serial counterparts.
+    """
+    return WaveformBatch.with_noise_seeds(wave, rms_volts, seeds)
 
 
 def snr_db(signal: Waveform, noise_rms: float) -> float:

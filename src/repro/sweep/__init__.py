@@ -1,0 +1,31 @@
+"""Sweep subsystem: declarative scenario grids + the batched runner.
+
+The scaling layer of the library: studies over equalizer settings,
+channel lengths, PVT corners, mismatch draws, jitter and noise seeds are
+declared as a :class:`ScenarioGrid` of axes and executed by a
+:class:`SweepRunner`, which batches every stimulus-only axis through the
+signal path as one :class:`~repro.signals.batch.WaveformBatch` pass and
+rebuilds pipelines only along structural axes.
+
+    from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner
+    from repro.analysis import measure_eye_batch
+
+    grid = ScenarioGrid([
+        SweepAxis("length_m", (0.1, 0.3, 0.5), structural=True),
+        SweepAxis("seed", tuple(range(100))),
+    ])
+    runner = SweepRunner(
+        grid,
+        stimulus=make_noisy_wave,            # params dict -> Waveform
+        build=make_link,                     # structural params -> Block
+        measure_batch=lambda batch, _:
+            measure_eye_batch(batch, bit_rate=10e9),
+    )
+    result = runner.run()
+    heights = result.values(lambda m: m.eye_height)   # shape (3, 100)
+"""
+
+from .grid import ScenarioGrid, SweepAxis
+from .runner import SweepResult, SweepRunner
+
+__all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult"]

@@ -1,0 +1,308 @@
+"""WaveformBatch: API mirror of Waveform and batch-vs-serial equivalence.
+
+The batched engine's contract is that row ``i`` of a batch pushed
+through any block — including the complete paper link — is numerically
+identical to pushing the same waveform through on its own.  These tests
+pin that contract down, including the degenerate ``lfilter_zi`` fallback
+branch (pure gains and s=0 poles).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_io_interface
+from repro.analysis import (
+    EyeDiagram,
+    ber_from_eye,
+    ber_from_eye_batch,
+    measure_eye_batch,
+    pulse_response,
+    pulse_response_batch,
+)
+from repro.channel import BackplaneChannel
+from repro.lti import (
+    DelayBlock,
+    GainBlock,
+    LinearBlock,
+    Pipeline,
+    RationalTF,
+    SummingNode,
+    TanhLimiter,
+    first_order_lowpass,
+    pole_zero_tf,
+)
+from repro.signals import (
+    NrzEncoder,
+    RandomJitter,
+    Waveform,
+    WaveformBatch,
+    add_awgn,
+    add_awgn_batch,
+    bits_to_nrz,
+    prbs7,
+)
+
+FS = 160e9
+BIT_RATE = 10e9
+
+
+def make_batch(n_rows=3, n_samples=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return WaveformBatch(rng.standard_normal((n_rows, n_samples)), FS)
+
+
+# -- construction -------------------------------------------------------------
+
+def test_stack_requires_compatible_waveforms():
+    a = Waveform(np.zeros(8), FS)
+    b = Waveform(np.zeros(9), FS)
+    with pytest.raises(ValueError):
+        WaveformBatch.stack([a, b])
+    with pytest.raises(ValueError):
+        WaveformBatch.stack([])
+    with pytest.raises(ValueError):
+        WaveformBatch.stack([a, Waveform(np.zeros(8), 2 * FS)])
+
+
+def test_stack_and_rows_round_trip():
+    waves = [Waveform(np.arange(5.0) + i, FS) for i in range(4)]
+    batch = WaveformBatch.stack(waves)
+    assert batch.n_scenarios == 4
+    assert batch.n_samples == 5
+    for original, row in zip(waves, batch.rows()):
+        np.testing.assert_array_equal(original.data, row.data)
+        assert row.sample_rate == original.sample_rate
+
+
+def test_batch_rejects_1d_data():
+    with pytest.raises(ValueError):
+        WaveformBatch(np.zeros(8), FS)
+
+
+def test_tiled_copies_one_waveform():
+    wave = Waveform(np.arange(6.0), FS)
+    batch = WaveformBatch.tiled(wave, 3)
+    assert batch.data.shape == (3, 6)
+    np.testing.assert_array_equal(batch.data[2], wave.data)
+
+
+def test_noise_seed_rows_match_serial_awgn():
+    wave = bits_to_nrz(prbs7(16), BIT_RATE, amplitude=0.2,
+                       samples_per_bit=8)
+    seeds = [11, 12, 13]
+    batch = add_awgn_batch(wave, 1e-3, seeds)
+    for seed, row in zip(seeds, batch.rows()):
+        np.testing.assert_array_equal(
+            add_awgn(wave, 1e-3, seed=seed).data, row.data
+        )
+
+
+def test_jittered_encode_batch_matches_serial():
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=8,
+                         amplitude=0.4)
+    bits = prbs7(20)
+    jitter = RandomJitter(rms_seconds=2e-12)
+    offsets = jitter.offsets_batch(len(bits), BIT_RATE, seeds=[1, 2])
+    batch = encoder.encode_batch(bits, offsets)
+    for row, offs in zip(batch.rows(), offsets):
+        np.testing.assert_array_equal(encoder.encode(bits, offs).data,
+                                      row.data)
+
+
+# -- API mirror ---------------------------------------------------------------
+
+def test_indexing_and_iteration():
+    batch = make_batch(3, 16)
+    assert len(batch) == 3
+    assert isinstance(batch[1], Waveform)
+    sliced = batch[1:]
+    assert isinstance(sliced, WaveformBatch)
+    assert sliced.n_scenarios == 2
+    assert len(list(batch)) == 3
+
+
+def test_statistics_are_per_row():
+    batch = WaveformBatch(np.array([[1.0, -1.0], [3.0, 3.0]]), FS)
+    np.testing.assert_allclose(batch.peak_to_peak(), [2.0, 0.0])
+    np.testing.assert_allclose(batch.mean(), [0.0, 3.0])
+    np.testing.assert_allclose(batch.rms(), [1.0, 3.0])
+
+
+def test_arithmetic_with_scalars_vectors_and_waveforms():
+    batch = make_batch(3, 8)
+    wave = Waveform(np.ones(8), FS)
+    per_row = np.array([1.0, 2.0, 3.0])
+
+    np.testing.assert_array_equal((batch + 1.0).data, batch.data + 1.0)
+    np.testing.assert_array_equal((batch + wave).data, batch.data + 1.0)
+    np.testing.assert_array_equal((batch + per_row).data,
+                                  batch.data + per_row[:, None])
+    np.testing.assert_array_equal((batch - batch).data,
+                                  np.zeros_like(batch.data))
+    np.testing.assert_array_equal((batch * 2.0).data, 2.0 * batch.data)
+    np.testing.assert_array_equal((-batch).data, -batch.data)
+
+
+def test_arithmetic_shape_checks():
+    batch = make_batch(3, 8)
+    with pytest.raises(ValueError):
+        batch + np.ones(5)  # neither per-row nor per-sample
+    with pytest.raises(ValueError):
+        batch + make_batch(2, 8)
+    with pytest.raises(ValueError):
+        batch + Waveform(np.ones(9), FS)
+
+
+@given(delay_ps=st.floats(min_value=0.0, max_value=400.0))
+@settings(max_examples=25, deadline=None)
+def test_delayed_matches_serial(delay_ps):
+    batch = make_batch(4, 48, seed=3)
+    delayed = batch.delayed(delay_ps * 1e-12)
+    for row, out in zip(batch.rows(), delayed.rows()):
+        np.testing.assert_array_equal(row.delayed(delay_ps * 1e-12).data,
+                                      out.data)
+
+
+def test_skip_and_slice_time_match_serial():
+    batch = make_batch(3, 40)
+    np.testing.assert_array_equal(
+        batch.skip(7).data,
+        np.stack([row.skip(7).data for row in batch.rows()]),
+    )
+    sliced = batch.slice_time(5 / FS, 20 / FS)
+    np.testing.assert_array_equal(
+        sliced.data,
+        np.stack([row.slice_time(5 / FS, 20 / FS).data
+                  for row in batch.rows()]),
+    )
+    assert sliced.t0 == batch.rows()[0].slice_time(5 / FS, 20 / FS).t0
+
+
+# -- block transparency -------------------------------------------------------
+
+@pytest.mark.parametrize("block", [
+    LinearBlock(pole_zero_tf([6e9], [1.5e9], gain=2.0)),
+    LinearBlock(RationalTF.constant(3.0)),    # degenerate zi: pure gain
+    LinearBlock(RationalTF.integrator(1e9)),  # degenerate zi: s=0 pole
+    TanhLimiter(gain=4.0, limit=0.125),
+    GainBlock(-1.5),
+    DelayBlock(delay_s=23e-12),
+    SummingNode(branches=[GainBlock(0.5),
+                          LinearBlock(first_order_lowpass(4e9))],
+                weights=[1.0, -0.3]),
+    SummingNode(branches=[GainBlock(2.0)], include_input=False),
+])
+def test_blocks_process_batches_row_identically(block):
+    batch = make_batch(3, 96, seed=5)
+    out = block.process(batch)
+    assert isinstance(out, WaveformBatch)
+    for row, out_row in zip(batch.rows(), out.rows()):
+        np.testing.assert_array_equal(block.process(row).data, out_row.data)
+
+
+def test_fir_preemphasis_baseline_is_batch_transparent():
+    from repro.baselines import FirPreEmphasis
+
+    ffe = FirPreEmphasis(taps=[1.0, -0.25], bit_rate=BIT_RATE)
+    batch = make_batch(3, 96, seed=6)
+    out = ffe.process(batch)
+    for row, out_row in zip(batch.rows(), out.rows()):
+        np.testing.assert_array_equal(ffe.process(row).data, out_row.data)
+
+
+def test_pipeline_batch_matches_serial():
+    pipe = Pipeline([
+        LinearBlock(pole_zero_tf([8e9], [2e9], gain=1.5)),
+        TanhLimiter(gain=3.0, limit=0.2),
+        LinearBlock(first_order_lowpass(9e9)),
+    ])
+    batch = make_batch(4, 128, seed=9)
+    out = pipe.process(batch)
+    for row, out_row in zip(batch.rows(), out.rows()):
+        np.testing.assert_array_equal(pipe.process(row).data, out_row.data)
+
+
+def test_backplane_channel_batch_matches_serial():
+    channel = BackplaneChannel(0.4)
+    base = bits_to_nrz(prbs7(40), BIT_RATE, amplitude=0.25,
+                       samples_per_bit=16)
+    batch = WaveformBatch.stack([base * a for a in (0.5, 1.0, 1.5)])
+    out = channel.process(batch)
+    for row, out_row in zip(batch.rows(), out.rows()):
+        np.testing.assert_allclose(channel.process(row).data, out_row.data,
+                                   atol=1e-12)
+
+
+# -- the headline contract: the full paper link -------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_full_link_batch_rows_match_single_waveform_path(seed):
+    """Each row through build_io_interface() matches the serial path to
+    <= 1e-12 — the tentpole equivalence guarantee."""
+    rng = np.random.default_rng(seed)
+    link = build_io_interface(channel=BackplaneChannel(0.2))
+    base = bits_to_nrz(prbs7(36, seed=3), BIT_RATE, amplitude=0.01,
+                       samples_per_bit=16)
+    scales = 1.0 + 0.2 * rng.standard_normal(4)
+    offsets = rng.normal(0.0, 1e-3, 4)
+    waves = [base * s + o for s, o in zip(scales, offsets)]
+    batch = WaveformBatch.stack(waves)
+    out = link.process(batch)
+    assert isinstance(out, WaveformBatch)
+    for wave, out_row in zip(waves, out.rows()):
+        serial = link.process(wave)
+        assert np.max(np.abs(serial.data - out_row.data)) <= 1e-12
+
+
+def test_full_link_batch_through_degenerate_gain_stage():
+    """The degenerate-zi fallback (pure gain prepended to the link
+    pipeline) stays row-exact inside a batch."""
+    link = build_io_interface()
+    pre = Pipeline([GainBlock(0.5), LinearBlock(RationalTF.constant(2.0))])
+    base = bits_to_nrz(prbs7(30), BIT_RATE, amplitude=0.008,
+                       samples_per_bit=16)
+    waves = [base * s for s in (0.6, 1.0, 1.7)]
+    batch = pre.process(WaveformBatch.stack(waves))
+    out = link.process(batch)
+    for wave, out_row in zip(waves, out.rows()):
+        serial = link.process(pre.process(wave))
+        assert np.max(np.abs(serial.data - out_row.data)) <= 1e-12
+
+
+# -- batched analysis ---------------------------------------------------------
+
+def test_measure_eye_batch_matches_serial_measurements():
+    base = bits_to_nrz(prbs7(60), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    batch = WaveformBatch.stack([add_awgn(base, 5e-3, seed=s)
+                                 for s in range(5)])
+    batched = measure_eye_batch(batch, BIT_RATE, skip_ui=8)
+    for row, measurement in zip(batch.rows(), batched):
+        serial = EyeDiagram.measure_waveform(row, BIT_RATE, skip_ui=8)
+        assert serial == measurement
+
+
+def test_ber_from_eye_batch_matches_serial():
+    base = bits_to_nrz(prbs7(60), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    batch = WaveformBatch.stack([add_awgn(base, 10e-3, seed=s)
+                                 for s in range(3)])
+    batched = ber_from_eye_batch(batch, BIT_RATE)
+    for row, ber in zip(batch.rows(), batched):
+        assert ber == pytest.approx(ber_from_eye(row, BIT_RATE), rel=1e-12)
+
+
+def test_pulse_response_batch_matches_serial():
+    system = Pipeline([LinearBlock(pole_zero_tf([7e9], [2e9])),
+                       TanhLimiter(gain=2.0, limit=0.3)])
+    amplitudes = (0.05, 0.2, 0.8)
+    batched = pulse_response_batch(system, BIT_RATE, amplitudes,
+                                   samples_per_bit=16)
+    for amplitude, response in zip(amplitudes, batched):
+        serial = pulse_response(system, BIT_RATE, samples_per_bit=16,
+                                amplitude=amplitude)
+        assert response.cursor_index == serial.cursor_index
+        np.testing.assert_array_equal(response.cursors, serial.cursors)

@@ -98,9 +98,28 @@ def test_simulate_initial_value_override():
     assert out[-1] == pytest.approx(0.0, abs=1e-3)
 
 
-def test_simulate_rejects_2d():
+def test_simulate_accepts_2d_batches():
+    tf = first_order_lowpass(1e9, gain=2.0)
+    rows = np.stack([np.full(64, 0.5), np.full(64, -0.25)])
+    out = simulate_tf(tf, rows, FS)
+    assert out.shape == rows.shape
+    # Per-row steady-state initialization: each row passes its own DC.
+    np.testing.assert_allclose(out[0], 1.0, rtol=1e-6)
+    np.testing.assert_allclose(out[1], -0.5, rtol=1e-6)
+
+
+def test_simulate_2d_rows_match_1d_runs():
+    tf = second_order_lowpass(5e9, q=1.2)
+    rng = np.random.default_rng(7)
+    rows = rng.standard_normal((5, 256))
+    batched = simulate_tf(tf, rows, FS)
+    for row_in, row_out in zip(rows, batched):
+        np.testing.assert_array_equal(simulate_tf(tf, row_in, FS), row_out)
+
+
+def test_simulate_rejects_3d():
     with pytest.raises(ValueError):
-        simulate_tf(RationalTF.constant(1.0), np.zeros((2, 2)), FS)
+        simulate_tf(RationalTF.constant(1.0), np.zeros((2, 2, 2)), FS)
 
 
 def test_empty_data_passthrough():
@@ -127,6 +146,32 @@ def test_highpass_zero_differentiates_edges():
     y = simulate_tf(tf, step, FS, initial_value=0.0)
     assert y.max() > 1.5
     assert y[-1] == pytest.approx(1.0, rel=1e-2)
+
+
+def test_step_response_accepts_prewarp():
+    tf = first_order_lowpass(1e9, gain=3.0)
+    y = step_response(tf, FS, duration=5e-9, prewarp_hz=1e9)
+    assert y[-1] == pytest.approx(3.0, rel=1e-3)
+
+
+def test_responses_consistent_with_transient_for_s0_pole():
+    # An integrator (pole at s=0) has a degenerate lfilter_zi; the
+    # responses must still agree with an equivalent transient run that
+    # idles at zero before the edge.
+    tf = RationalTF.integrator(gain=2e9)
+    y_step = step_response(tf, FS, duration=1e-9)
+    step = np.ones(len(y_step))
+    y_sim = simulate_tf(tf, step, FS, initial_value=0.0)
+    np.testing.assert_allclose(y_step, y_sim)
+    # The integral of a unit step ramps at `gain`.
+    t_end = (len(y_step) - 1) / FS
+    assert y_step[-1] == pytest.approx(2e9 * t_end, rel=1e-2)
+
+
+def test_impulse_response_batch_consistency():
+    tf = pole_zero_tf([8e9], [1e9], gain=1.0)
+    h = impulse_response(tf, FS, duration=1e-9, prewarp_hz=4e9)
+    assert h.shape == (max(2, int(round(1e-9 * FS))),)
 
 
 def test_duration_validation():

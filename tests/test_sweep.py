@@ -1,0 +1,205 @@
+"""Sweep subsystem: grid geometry, axis partitioning, runner equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_eye_batch
+from repro.lti import GainBlock, LinearBlock, Pipeline, TanhLimiter, \
+    first_order_lowpass
+from repro.signals import Waveform, bits_to_nrz, prbs7
+from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner
+
+BIT_RATE = 10e9
+FS = 160e9
+
+
+# -- grid ---------------------------------------------------------------------
+
+def test_axis_validation():
+    with pytest.raises(ValueError):
+        SweepAxis("empty", ())
+    with pytest.raises(ValueError):
+        SweepAxis("", (1,))
+    assert len(SweepAxis("x", (1, 2, 3))) == 3
+
+
+def test_grid_shape_and_partition():
+    grid = ScenarioGrid([
+        SweepAxis("corner", ("ss", "tt", "ff"), structural=True),
+        SweepAxis("seed", (0, 1, 2, 3)),
+        SweepAxis("amplitude", (0.1, 0.2)),
+    ])
+    assert grid.shape == (3, 4, 2)
+    assert grid.n_scenarios == 24
+    assert [a.name for a in grid.structural_axes()] == ["corner"]
+    assert [a.name for a in grid.batch_axes()] == ["seed", "amplitude"]
+    assert grid.n_batch_scenarios() == 8
+    assert len(list(grid.structural_points())) == 3
+    assert len(list(grid.batch_points())) == 8
+
+
+def test_grid_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        ScenarioGrid([SweepAxis("x", (1,)), SweepAxis("x", (2,))])
+    with pytest.raises(ValueError):
+        ScenarioGrid([])
+
+
+def test_points_order_is_row_major_and_flat_index_inverts_it():
+    grid = ScenarioGrid([
+        SweepAxis("a", (10, 20), structural=True),
+        SweepAxis("b", ("x", "y", "z")),
+    ])
+    points = list(grid.points())
+    assert points[0] == {"a": 10, "b": "x"}
+    assert points[1] == {"a": 10, "b": "y"}
+    assert points[3] == {"a": 20, "b": "x"}
+    for i, point in enumerate(points):
+        assert grid.flat_index(point) == i
+
+
+def test_flat_index_validation():
+    grid = ScenarioGrid([SweepAxis("a", (1, 2))])
+    with pytest.raises(KeyError):
+        grid.flat_index({"b": 1})
+    with pytest.raises(ValueError):
+        grid.flat_index({"a": 99})
+
+
+# -- runner -------------------------------------------------------------------
+
+def _stimulus(params):
+    base = bits_to_nrz(prbs7(24, seed=2), BIT_RATE,
+                       amplitude=params["amplitude"], samples_per_bit=16)
+    return base
+
+
+def _build(params):
+    return Pipeline([
+        LinearBlock(first_order_lowpass(params["pole_hz"], gain=2.0)),
+        TanhLimiter(gain=3.0, limit=0.4),
+    ])
+
+
+def test_run_matches_run_serial_exactly():
+    grid = ScenarioGrid([
+        SweepAxis("pole_hz", (4e9, 8e9), structural=True),
+        SweepAxis("amplitude", (0.05, 0.1, 0.3)),
+    ])
+    runner = SweepRunner(grid, stimulus=_stimulus, build=_build)
+    batched = runner.run()
+    serial = runner.run_serial()
+    assert len(batched) == len(serial) == 6
+    for p_b, p_s, r_b, r_s in zip(batched.params, serial.params,
+                                  batched.results, serial.results):
+        assert p_b == p_s
+        assert np.max(np.abs(r_b.data - r_s.data)) <= 1e-12
+
+
+def test_run_with_measure_and_values_reshape():
+    grid = ScenarioGrid([
+        SweepAxis("pole_hz", (4e9, 8e9), structural=True),
+        SweepAxis("amplitude", (0.05, 0.1, 0.3)),
+    ])
+    runner = SweepRunner(
+        grid, stimulus=_stimulus, build=_build,
+        measure=lambda wave, params: float(np.ptp(wave.data)),
+    )
+    result = runner.run()
+    swings = result.values(lambda v: v)
+    assert swings.shape == (2, 3)
+    # Larger input amplitude -> larger output swing, at every pole.
+    assert np.all(np.diff(swings, axis=1) > 0)
+    assert result.along("amplitude") == (0.05, 0.1, 0.3)
+    with pytest.raises(KeyError):
+        result.along("nope")
+
+
+def test_measure_batch_fast_path_matches_per_row_measure():
+    grid = ScenarioGrid([SweepAxis("amplitude", (0.1, 0.2, 0.4))])
+    stimulus = lambda p: bits_to_nrz(prbs7(60, seed=1), BIT_RATE,
+                                     amplitude=p["amplitude"],
+                                     samples_per_bit=16)
+    build = lambda p: GainBlock(2.0)
+    from repro.analysis import EyeDiagram
+    batched = SweepRunner(
+        grid, stimulus=stimulus, build=build,
+        measure_batch=lambda batch, _:
+            measure_eye_batch(batch, BIT_RATE, skip_ui=8),
+    ).run()
+    per_row = SweepRunner(
+        grid, stimulus=stimulus, build=build,
+        measure=lambda wave, _:
+            EyeDiagram.measure_waveform(wave, BIT_RATE, skip_ui=8),
+    ).run()
+    assert batched.results == per_row.results
+
+
+def test_measurement_only_sweep_without_build():
+    grid = ScenarioGrid([SweepAxis("amplitude", (0.1, 0.5))])
+    result = SweepRunner(
+        grid,
+        stimulus=lambda p: Waveform(
+            np.full(8, p["amplitude"]), FS),
+        measure=lambda wave, p: float(wave.mean()),
+    ).run()
+    assert result.results == [pytest.approx(0.1), pytest.approx(0.5)]
+
+
+def test_serial_uses_measure_batch_when_no_scalar_measure():
+    grid = ScenarioGrid([SweepAxis("amplitude", (0.1, 0.2))])
+    runner = SweepRunner(
+        grid,
+        stimulus=lambda p: bits_to_nrz(prbs7(60, seed=1), BIT_RATE,
+                                       amplitude=p["amplitude"],
+                                       samples_per_bit=16),
+        measure_batch=lambda batch, _:
+            measure_eye_batch(batch, BIT_RATE, skip_ui=8),
+    )
+    assert runner.run().results == runner.run_serial().results
+
+
+def test_structural_only_grid_runs_one_scenario_per_point():
+    grid = ScenarioGrid([
+        SweepAxis("gain", (1.0, 2.0, 3.0), structural=True),
+    ])
+    result = SweepRunner(
+        grid,
+        stimulus=lambda p: Waveform(np.ones(8), FS),
+        build=lambda p: GainBlock(p["gain"]),
+        measure=lambda wave, p: float(wave.data[0]),
+    ).run()
+    assert result.results == [1.0, 2.0, 3.0]
+
+
+def test_duplicate_axis_values_keep_every_scenario():
+    # Quantized Monte Carlo draws can repeat; each point must keep its
+    # own slot (results are scattered positionally, not by value).
+    grid = ScenarioGrid([
+        SweepAxis("gain", (2.0, 2.0), structural=True),
+        SweepAxis("level", (0.5, 0.5, 1.0)),
+    ])
+    result = SweepRunner(
+        grid,
+        stimulus=lambda p: Waveform(np.full(8, p["level"]), FS),
+        build=lambda p: GainBlock(p["gain"]),
+        measure=lambda wave, p: float(wave.data[0]),
+    ).run()
+    assert None not in result.params
+    assert result.results == [1.0, 1.0, 2.0, 1.0, 1.0, 2.0]
+
+
+def test_process_pool_falls_back_on_unpicklable_callables():
+    grid = ScenarioGrid([
+        SweepAxis("gain", (1.0, 2.0), structural=True),
+    ])
+    # Lambdas cannot cross a process boundary; the runner must still
+    # deliver correct results in-process.
+    result = SweepRunner(
+        grid,
+        stimulus=lambda p: Waveform(np.ones(8), FS),
+        build=lambda p: GainBlock(p["gain"]),
+        measure=lambda wave, p: float(wave.data[0]),
+        processes=2,
+    ).run()
+    assert result.results == [1.0, 2.0]
