@@ -1,0 +1,226 @@
+"""The batched closed-loop CDR engine vs the serial per-scenario loop.
+
+PR 1 stopped batching at the analog front end; this bench pins the
+contract for the last serial layers.  A ≥500-scenario study — one
+jittered PRBS pattern per scenario, each with its own noise draw — is
+recovered twice:
+
+* **batched**: :meth:`~repro.cdr.BangBangCdr.recover_batch` advances
+  all N bang-bang loops together, one bit-step at a time, with
+  vectorized interpolation sampling, vectorized Alexander votes and
+  per-row phase/integral/slip state;
+* **serial**: :meth:`~repro.cdr.BangBangCdr.recover` per scenario — the
+  reference loop.
+
+Acceptance: the batched path is >= 5x faster wall-clock, and every
+row's decisions, phase track, votes, lock index and slip count match
+the serial run exactly.
+
+A second section exercises the framed link end to end:
+:func:`~repro.serdes.run_link_batch` serializes a payload once, fans it
+out over per-scenario noise, recovers all scenarios with one batched
+CDR pass and decodes each stream — producing a frame-error-rate /
+lock-yield table per noise level.
+
+``BENCH_CDR_SCENARIOS`` shrinks the scenario count for CI smoke runs;
+the speedup floor is only enforced at full scale (row-exactness always
+is).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+from repro.cdr import BangBangCdr, CdrConfig
+from repro.reporting import format_table
+from repro.signals import (
+    NrzEncoder,
+    RandomJitter,
+    WaveformBatch,
+    add_awgn,
+    prbs7,
+)
+from repro.serdes import run_link, run_link_batch
+from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner, \
+    closed_loop_cdr_measure
+
+BIT_RATE = 10e9
+N_SCENARIOS = int(os.environ.get("BENCH_CDR_SCENARIOS", "500"))
+N_BITS = 280
+SAMPLES_PER_BIT = 8
+SPEEDUP_FLOOR = 5.0
+
+
+def make_batch(n_scenarios):
+    """One jittered + noisy PRBS waveform per scenario."""
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=SAMPLES_PER_BIT,
+                         amplitude=0.4)
+    bits = prbs7(N_BITS)
+    waves = []
+    for seed in range(1, n_scenarios + 1):
+        jitter = RandomJitter(3e-12, seed=seed)
+        wave = encoder.encode(bits,
+                              edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+        waves.append(add_awgn(wave, rms_volts=0.02, seed=seed))
+    return WaveformBatch.stack(waves)
+
+
+def test_batched_cdr_speedup_and_row_exactness(save_report):
+    batch = make_batch(N_SCENARIOS)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
+
+    # Warm both paths on a slice so first-call overheads cancel.
+    cdr.recover_batch(batch[:2])
+    cdr.recover(batch[0])
+
+    t0 = time.perf_counter()
+    batched = cdr.recover_batch(batch)
+    t_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = [cdr.recover(row) for row in batch.rows()]
+    t_serial = time.perf_counter() - t0
+
+    speedup = t_serial / t_batched
+    save_report("cdr_link_engine_speedup", format_table([{
+        "scenarios": N_SCENARIOS,
+        "bits/scenario": N_BITS,
+        "serial (s)": t_serial,
+        "batched (s)": t_batched,
+        "speedup (x)": speedup,
+        "lock yield (%)": 100 * batched.lock_yield(),
+    }]))
+
+    for i, reference in enumerate(serial):
+        row = batched.row(i)
+        np.testing.assert_array_equal(row.decisions, reference.decisions,
+                                      err_msg=f"decisions differ, row {i}")
+        np.testing.assert_array_equal(row.phase_track_ui,
+                                      reference.phase_track_ui,
+                                      err_msg=f"phase track differs, row {i}")
+        np.testing.assert_array_equal(row.votes, reference.votes,
+                                      err_msg=f"votes differ, row {i}")
+        assert row.locked_at_bit == reference.locked_at_bit, i
+        assert row.slips == reference.slips, i
+    assert batched.lock_yield() > 0.95
+    # Row-exactness is always enforced; the wall-clock gate only at
+    # full scale (smoke runs time tens of milliseconds, where a CI
+    # scheduler hiccup would make the ratio meaningless).
+    if N_SCENARIOS >= 500:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"batched CDR only {speedup:.1f}x faster than serial "
+            f"(need >= {SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_framed_link_noise_sweep(benchmark, save_report):
+    """BER-style framed-link yield vs noise: one batched pass per level."""
+    payload = bytes(range(48))
+    n_per_level = max(4, N_SCENARIOS // 25)
+    noise_levels = (0.005, 0.05, 0.12)
+
+    def sweep():
+        rows = []
+        for rms in noise_levels:
+            seeds = range(1, n_per_level + 1)
+            report = run_link_batch(
+                payload,
+                analog_path=lambda w, rms=rms, seeds=seeds:
+                    WaveformBatch.with_noise_seeds(w, rms, list(seeds)),
+                training_commas=24,
+                training_bytes=4,
+            )
+            rows.append({
+                "noise rms (mV)": 1e3 * rms,
+                "scenarios": n_per_level,
+                "lock yield (%)": 100 * report.lock_yield(),
+                "frame errors (%)": 100 * report.frame_error_rate(),
+                "max |slips|": int(np.max(np.abs(report.slips()))),
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    save_report("framed_link_noise_sweep", format_table(rows))
+    # Clean link: every frame survives.  Destroyed link: none do.
+    assert rows[0]["frame errors (%)"] == 0.0
+    assert rows[0]["lock yield (%)"] == 100.0
+    assert rows[-1]["frame errors (%)"] == 100.0
+
+
+def test_framed_link_batch_matches_serial_run_link(benchmark, save_report):
+    """run_link_batch rows reproduce run_link scenario by scenario."""
+    payload = b"batched-framed-link!"
+    rms = 0.01
+    seeds = list(range(1, 7))
+
+    def compare():
+        batch_report = run_link_batch(
+            payload,
+            analog_path=lambda w: WaveformBatch.with_noise_seeds(
+                w, rms, seeds),
+            training_commas=24, training_bytes=4,
+        )
+        mismatches = 0
+        for seed, from_batch in zip(seeds, batch_report):
+            reference = run_link(
+                payload,
+                analog_path=lambda w, seed=seed: add_awgn(w, rms, seed=seed),
+                training_commas=24, training_bytes=4,
+            )
+            if (from_batch.payload_received != reference.payload_received
+                    or from_batch.cdr_locked != reference.cdr_locked
+                    or from_batch.cdr_slips != reference.cdr_slips):
+                mismatches += 1
+        return mismatches, batch_report.frame_error_rate()
+
+    mismatches, fer = run_once(benchmark, compare)
+    save_report("framed_link_batch_vs_serial", format_table([{
+        "scenarios": len(seeds),
+        "row mismatches": mismatches,
+        "frame errors (%)": 100 * fer,
+    }]))
+    assert mismatches == 0
+    assert fer == 0.0
+
+
+def test_closed_loop_sweep_lock_yield(benchmark, save_report):
+    """The sweep subsystem driving recover_batch: lock-time yield grid."""
+    n_seeds = max(6, N_SCENARIOS // 25)
+    grid = ScenarioGrid([
+        SweepAxis("amplitude", (0.2, 0.4)),
+        SweepAxis("seed", tuple(range(1, n_seeds + 1))),
+    ])
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=SAMPLES_PER_BIT,
+                         amplitude=1.0)
+    bits = prbs7(N_BITS)
+
+    def stimulus(params):
+        jitter = RandomJitter(2e-12, seed=params["seed"])
+        wave = encoder.encode(bits,
+                              edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+        return wave * params["amplitude"]
+
+    measure, measure_batch = closed_loop_cdr_measure(
+        CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5),
+        reduce=lambda r, p: r.locked_at_bit,
+    )
+    runner = SweepRunner(grid, stimulus=stimulus, measure=measure,
+                         measure_batch=measure_batch)
+
+    def sweep():
+        batched = runner.run()
+        serial = runner.run_serial()
+        assert batched.results == serial.results
+        locks = batched.values(float)
+        return float(np.mean(locks >= 0)), float(np.median(locks[locks >= 0]))
+
+    lock_yield, median_lock = run_once(benchmark, sweep)
+    save_report("closed_loop_sweep_lock_yield", format_table([{
+        "scenarios": grid.n_scenarios,
+        "lock yield (%)": 100 * lock_yield,
+        "median lock (bits)": median_lock,
+    }]))
+    assert lock_yield == 1.0
+    assert median_lock < N_BITS / 2

@@ -9,20 +9,26 @@ loop bandwidth.  The paper's LA feeds exactly such a CDR.
 The sweep subsystem executes the template as a declarative grid:
 (SJ frequency x SJ amplitude) are batchable axes — every point is a
 stimulus variation on the same receiver — so the runner stacks all
-jittered patterns into one :class:`~repro.signals.WaveformBatch` and the
-per-point CDR recovery is the only serial work left.  The tolerance at
-each frequency is the largest amplitude on the grid with an error-free
-run (amplitudes above the first failure do not count, mirroring the
-bisection this replaces).
+jittered patterns into one :class:`~repro.signals.WaveformBatch` and
+:func:`~repro.sweep.closed_loop_cdr_measure` advances every point's CDR
+loop together through ``recover_batch``: nothing in the sweep is serial
+any more.  The tolerance at each frequency is the largest amplitude on
+the grid with an error-free run (amplitudes above the first failure do
+not count, mirroring the bisection this replaces).
 """
 
 import numpy as np
 
 from conftest import run_once
-from repro.cdr import BangBangCdr, CdrConfig
+from repro.cdr import CdrConfig
 from repro.reporting import format_table
 from repro.signals import NrzEncoder, SinusoidalJitter, prbs7
-from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner
+from repro.sweep import (
+    ScenarioGrid,
+    SweepAxis,
+    SweepRunner,
+    closed_loop_cdr_measure,
+)
 
 BIT_RATE = 10e9
 N_BITS = 700
@@ -45,11 +51,10 @@ def make_stimulus(params):
     return encoder.encode(bits, edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
 
 
-def cdr_error_free(wave, params):
-    """Does the CDR recover the pattern from this stimulus?"""
+def error_free(result, params):
+    """Does the recovered decision stream reproduce the pattern?"""
     bits = prbs7(N_BITS)
-    config = CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-4)
-    decisions = BangBangCdr(config).recover(wave).decisions
+    decisions = result.decisions
     errors = min(
         int(np.sum(decisions[lag:lag + 500] != bits[:500]))
         for lag in range(0, 4)
@@ -58,13 +63,18 @@ def cdr_error_free(wave, params):
 
 
 def tolerance_grid(frequencies, amplitudes=AMPLITUDES_UI):
-    """Tolerance (UI) per frequency from one batched sweep."""
+    """Tolerance (UI) per frequency from one batched closed-loop sweep."""
     grid = ScenarioGrid([
         SweepAxis("sj_freq", tuple(frequencies)),
         SweepAxis("sj_amplitude_ui", tuple(amplitudes)),
     ])
+    measure, measure_batch = closed_loop_cdr_measure(
+        CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-4),
+        reduce=error_free,
+    )
     result = SweepRunner(grid, stimulus=make_stimulus,
-                         measure=cdr_error_free).run()
+                         measure=measure,
+                         measure_batch=measure_batch).run()
     ok = result.values(float)  # (n_freq, n_amp) of 0/1
     tolerances = []
     for row in ok:

@@ -3,16 +3,27 @@ amplifier feeds ("to amplify the input signal to a sufficient voltage
 for the reliable operation of Clock Data Recovery").
 
 Bang-bang (Alexander) phase detection and a proportional+integral
-digital loop running directly on simulated analog waveforms.
+digital loop running directly on simulated analog waveforms — serially
+(:meth:`~repro.cdr.BangBangCdr.recover`) or as N closed loops advanced
+together over a :class:`~repro.signals.batch.WaveformBatch`
+(:meth:`~repro.cdr.BangBangCdr.recover_batch`).
 """
 
-from .phase_detector import PdVote, alexander_votes
-from .loop import CdrConfig, CdrResult, BangBangCdr
+from .phase_detector import (
+    PdVote,
+    alexander_votes,
+    alexander_votes_batch,
+    vote_step,
+)
+from .loop import CdrConfig, CdrResult, CdrBatchResult, BangBangCdr
 
 __all__ = [
     "PdVote",
     "alexander_votes",
+    "alexander_votes_batch",
+    "vote_step",
     "CdrConfig",
     "CdrResult",
+    "CdrBatchResult",
     "BangBangCdr",
 ]

@@ -8,19 +8,37 @@ idealized phase interpolator.  The model runs directly on the analog
 waveform out of the limiting amplifier, sampling it by interpolation at
 the recovered instants — so the whole receive chain (equalizer → LA →
 CDR) can be simulated closed-loop.
+
+Two execution paths share one set of kernels:
+
+* :meth:`BangBangCdr.recover` — the serial reference, one scalar loop
+  state per waveform;
+* :meth:`BangBangCdr.recover_batch` — N loops advanced together, one
+  bit-step at a time, with per-row phase/integral/slip state and
+  vectorized sampling and votes.
+
+Row ``i`` of a batch run is bit-identical to the serial run of
+``batch[i]``: both paths sample through
+:func:`~repro.signals.waveform.sample_uniform` and apply the loop update
+in the same expression order.
+
+Cycle slips are first-class: when the steered phase wraps across
+±1.0 UI the sampling instant stays continuous (the wrap is absorbed
+into a whole-bit offset) and the slip is counted, instead of silently
+re-sampling or skipping a bit with an unchanged bit index.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List
 
 import numpy as np
 
-from ..signals.waveform import Waveform
-from .phase_detector import alexander_votes
+from ..signals.batch import WaveformBatch
+from ..signals.waveform import Waveform, sample_uniform
+from .phase_detector import vote_step
 
-__all__ = ["CdrConfig", "CdrResult", "BangBangCdr"]
+__all__ = ["CdrConfig", "CdrResult", "CdrBatchResult", "BangBangCdr"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,12 +65,21 @@ class CdrConfig:
 
 @dataclasses.dataclass(frozen=True)
 class CdrResult:
-    """Outcome of a CDR run."""
+    """Outcome of a CDR run.
+
+    ``slips`` is the net cycle-slip count: +1 every time the recovered
+    phase wrapped forward across +1.0 UI (one transmitted bit never
+    sampled), -1 for a backward wrap.  Decision indices stay consistent
+    across a slip — decision ``k`` always samples one UI after decision
+    ``k-1`` — so a nonzero count means the decision-to-transmitted-bit
+    alignment shifted mid-stream, exactly as in a slipping hardware CDR.
+    """
 
     decisions: np.ndarray
     phase_track_ui: np.ndarray
     votes: np.ndarray
     locked_at_bit: int
+    slips: int = 0
 
     @property
     def is_locked(self) -> bool:
@@ -76,11 +103,82 @@ class CdrResult:
         return float(np.std(self.phase_track_ui[self.locked_at_bit:]))
 
 
+@dataclasses.dataclass(frozen=True)
+class CdrBatchResult:
+    """Outcome of N parallel CDR runs on one :class:`WaveformBatch`.
+
+    Arrays are rectangular ``(n_scenarios, total_bits)``; rows that ran
+    out of waveform early are valid only up to ``n_bits[row]`` (their
+    tails hold 0 decisions/votes and NaN phases).  :meth:`row` unpacks
+    one scenario into the serial :class:`CdrResult` form, truncated to
+    its valid span.
+    """
+
+    decisions: np.ndarray
+    phase_track_ui: np.ndarray
+    votes: np.ndarray
+    locked_at_bit: np.ndarray
+    slips: np.ndarray
+    n_bits: np.ndarray
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of parallel loops."""
+        return self.decisions.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    @property
+    def is_locked(self) -> np.ndarray:
+        """Per-row lock flags."""
+        return self.locked_at_bit >= 0
+
+    def lock_yield(self) -> float:
+        """Fraction of scenarios whose loop locked."""
+        return float(np.mean(self.is_locked))
+
+    def row(self, index: int) -> CdrResult:
+        """Scenario ``index`` as a serial-form :class:`CdrResult`."""
+        n = int(self.n_bits[index])
+        return CdrResult(
+            decisions=self.decisions[index, :n],
+            phase_track_ui=self.phase_track_ui[index, :n],
+            votes=self.votes[index, :n],
+            locked_at_bit=int(self.locked_at_bit[index]),
+            slips=int(self.slips[index]),
+        )
+
+    def rows(self) -> list:
+        """Every scenario unpacked (see :meth:`row`)."""
+        return [self.row(i) for i in range(self.n_scenarios)]
+
+    def recovered_jitter_ui(self) -> np.ndarray:
+        """Per-row post-lock RMS phase wander (NaN where unlocked)."""
+        out = np.full(self.n_scenarios, np.nan)
+        for i in range(self.n_scenarios):
+            lock = int(self.locked_at_bit[i])
+            if lock >= 0:
+                track = self.phase_track_ui[i, lock:int(self.n_bits[i])]
+                out[i] = float(np.std(track))
+        return out
+
+
 class BangBangCdr:
     """First-order-plus-integrator bang-bang CDR."""
 
     def __init__(self, config: CdrConfig):
         self.config = config
+
+    def _usable_bits(self, duration: float, n_bits: int | None) -> int:
+        total_bits = int(duration / (1.0 / self.config.bit_rate)) - 2
+        if n_bits is not None:
+            total_bits = min(total_bits, n_bits)
+        if total_bits < 16:
+            raise ValueError(
+                f"waveform too short for CDR: {total_bits} usable bits"
+            )
+        return total_bits
 
     def recover(self, wave: Waveform, n_bits: int | None = None
                 ) -> CdrResult:
@@ -92,73 +190,184 @@ class BangBangCdr:
         """
         config = self.config
         ui = 1.0 / config.bit_rate
-        total_bits = int(wave.duration / ui) - 2
-        if n_bits is not None:
-            total_bits = min(total_bits, n_bits)
-        if total_bits < 16:
-            raise ValueError(
-                f"waveform too short for CDR: {total_bits} usable bits"
-            )
+        total_bits = self._usable_bits(wave.duration, n_bits)
 
-        time = wave.time
         data = wave.data
+        t0 = wave.t0
+        sample_rate = wave.sample_rate
+        t_last = wave.time[-1]
         phase = config.initial_phase_ui
-        freq = config.initial_frequency_ppm * 1e-6
-        integral = freq
+        integral = config.initial_frequency_ppm * 1e-6
+        bit_offset = 0
+        slips = 0
 
-        decisions: List[int] = []
+        decisions = np.zeros(total_bits, dtype=np.int8)
         phases = np.empty(total_bits)
         votes = np.zeros(total_bits, dtype=np.int8)
         previous_data_sample = None
-        t_bit = 0.5 * ui  # centre of bit 0 at zero phase offset
+        previous_edge_sample = None
 
         for k in range(total_bits):
-            t_data = (k + 0.5 + phase) * ui
-            t_edge = (k + 1.0 + phase) * ui
-            if t_edge >= time[-1]:
+            t_data = (k + 0.5 + bit_offset + phase) * ui
+            t_edge = (k + 1.0 + bit_offset + phase) * ui
+            if t_edge >= t_last:
                 total_bits = k
+                decisions = decisions[:k]
                 phases = phases[:k]
                 votes = votes[:k]
                 break
-            sample_data = float(np.interp(t_data, time, data))
-            sample_edge = float(np.interp(t_edge, time, data))
-            decisions.append(1 if sample_data > 0 else 0)
+            sample_data = float(sample_uniform(data, t0, sample_rate,
+                                               t_data))
+            sample_edge = float(sample_uniform(data, t0, sample_rate,
+                                               t_edge))
+            decisions[k] = 1 if sample_data > 0 else 0
             phases[k] = phase
 
             if previous_data_sample is not None:
-                vote = alexander_votes(
-                    np.array([previous_data_sample, sample_data]),
+                vote = int(vote_step(
+                    np.array([previous_data_sample]),
                     np.array([previous_edge_sample]),
-                )[0]
+                    np.array([sample_data]),
+                )[0])
                 votes[k] = vote
-                integral += config.ki * vote
-                phase += config.kp * vote + integral
-                # An EARLY vote means we sample too late relative to the
-                # edge... sign convention folded into kp above; wrap
-                # the phase into a sane band to avoid drift artifacts.
+                integral = integral + config.ki * vote
+                phase = phase + (config.kp * vote + integral)
+                # A wrap across +-1 UI is a cycle slip: fold the whole
+                # bit into the index offset so the sampling instant (and
+                # therefore the decision sequence) stays continuous, and
+                # count it.
                 if phase > 1.0:
                     phase -= 1.0
+                    bit_offset += 1
+                    slips += 1
                 elif phase < -1.0:
                     phase += 1.0
+                    bit_offset -= 1
+                    slips -= 1
             previous_data_sample = sample_data
             previous_edge_sample = sample_edge
 
-        del t_bit
         locked_at = self._detect_lock(phases)
-        return CdrResult(decisions=np.array(decisions, dtype=np.int8),
-                         phase_track_ui=phases, votes=votes,
-                         locked_at_bit=locked_at)
+        return CdrResult(decisions=decisions, phase_track_ui=phases,
+                         votes=votes, locked_at_bit=locked_at,
+                         slips=slips)
+
+    def recover_batch(self, batch: WaveformBatch,
+                      n_bits: int | None = None,
+                      initial_phase_ui: np.ndarray | None = None,
+                      initial_frequency_ppm: np.ndarray | None = None
+                      ) -> CdrBatchResult:
+        """Run N independent loops over a batch, one bit-step at a time.
+
+        All rows share the config; ``initial_phase_ui`` /
+        ``initial_frequency_ppm`` optionally override the starting state
+        per row (for lock-time or pull-in yield studies).  Row ``i``
+        matches ``recover(batch[i])`` (with the matching config) exactly
+        — same sampling kernel, same update order, same wrap handling.
+        """
+        config = self.config
+        ui = 1.0 / config.bit_rate
+        total_bits = self._usable_bits(batch.duration, n_bits)
+        n_rows = batch.n_scenarios
+
+        data = batch.data
+        t0 = batch.t0
+        sample_rate = batch.sample_rate
+        t_last = batch.time[-1]
+
+        def _state(override, default):
+            if override is None:
+                return np.full(n_rows, default, dtype=float)
+            state = np.asarray(override, dtype=float)
+            if state.shape != (n_rows,):
+                raise ValueError(
+                    f"per-row override must have shape ({n_rows},), "
+                    f"got {state.shape}"
+                )
+            return state.copy()
+
+        phase = _state(initial_phase_ui, config.initial_phase_ui)
+        integral = _state(initial_frequency_ppm,
+                          config.initial_frequency_ppm) * 1e-6
+        bit_offset = np.zeros(n_rows, dtype=np.int64)
+        slips = np.zeros(n_rows, dtype=np.int64)
+        active = np.ones(n_rows, dtype=bool)
+        row_bits = np.full(n_rows, total_bits, dtype=np.int64)
+
+        decisions = np.zeros((n_rows, total_bits), dtype=np.int8)
+        phases = np.empty((n_rows, total_bits))
+        votes = np.zeros((n_rows, total_bits), dtype=np.int8)
+        previous_data = None
+        previous_edge = None
+
+        for k in range(total_bits):
+            t_data = (k + 0.5 + bit_offset + phase) * ui
+            t_edge = (k + 1.0 + bit_offset + phase) * ui
+            ending = active & (t_edge >= t_last)
+            if ending.any():
+                row_bits[ending] = k
+                active = active & ~ending
+                if not active.any():
+                    break
+            sample_data = sample_uniform(data, t0, sample_rate, t_data)
+            sample_edge = sample_uniform(data, t0, sample_rate, t_edge)
+            decisions[:, k] = sample_data > 0
+            phases[:, k] = phase
+
+            if k > 0:
+                votes_k = vote_step(previous_data, previous_edge,
+                                    sample_data)
+                votes[:, k] = votes_k
+                new_integral = integral + config.ki * votes_k
+                new_phase = phase + (config.kp * votes_k + new_integral)
+                integral = np.where(active, new_integral, integral)
+                phase = np.where(active, new_phase, phase)
+                wrap_up = active & (phase > 1.0)
+                wrap_down = active & (phase < -1.0)
+                phase[wrap_up] -= 1.0
+                bit_offset[wrap_up] += 1
+                slips[wrap_up] += 1
+                phase[wrap_down] += 1.0
+                bit_offset[wrap_down] -= 1
+                slips[wrap_down] -= 1
+            previous_data = sample_data
+            previous_edge = sample_edge
+
+        # Rows that ran out of waveform: blank everything past their
+        # last valid bit so the rectangular arrays cannot leak the
+        # garbage computed while other rows were still running.
+        tail = np.arange(total_bits)[np.newaxis, :] >= row_bits[:, np.newaxis]
+        decisions[tail] = 0
+        votes[tail] = 0
+        phases[tail] = np.nan
+
+        locked_at = np.array(
+            [self._detect_lock(phases[i, :row_bits[i]])
+             for i in range(n_rows)],
+            dtype=np.int64,
+        )
+        return CdrBatchResult(decisions=decisions, phase_track_ui=phases,
+                              votes=votes, locked_at_bit=locked_at,
+                              slips=slips, n_bits=row_bits)
 
     @staticmethod
     def _detect_lock(phases: np.ndarray, window: int = 64,
                      tolerance_ui: float = 0.05) -> int:
-        """First bit index after which the phase stays within a band."""
-        if len(phases) < 2 * window:
+        """First bit index after which the phase stays within a band.
+
+        A window is a candidate when its peak-to-peak wander is inside
+        ``tolerance_ui`` AND the whole remaining track stays within
+        twice that band (the loop must not wander off later).  Both
+        scans run as vectorized sliding-window / suffix reductions.
+        """
+        n = len(phases)
+        if n < 2 * window:
             return -1
-        for start in range(0, len(phases) - window):
-            segment = phases[start: start + window]
-            if np.ptp(segment) < tolerance_ui:
-                remaining = phases[start:]
-                if np.ptp(remaining) < 2 * tolerance_ui:
-                    return start
-        return -1
+        windows = np.lib.stride_tricks.sliding_window_view(phases, window)
+        window_ptp = np.ptp(windows, axis=-1)[: n - window]
+        suffix_max = np.maximum.accumulate(phases[::-1])[::-1]
+        suffix_min = np.minimum.accumulate(phases[::-1])[::-1]
+        suffix_ptp = (suffix_max - suffix_min)[: n - window]
+        hits = np.nonzero((window_ptp < tolerance_ui)
+                          & (suffix_ptp < 2 * tolerance_ui))[0]
+        return int(hits[0]) if len(hits) else -1

@@ -15,6 +15,9 @@ data centre (B) — and votes:
   *previous* bit: the edge came after the crossing sample);
 * ``A != T == B``  → clock is LATE;
 * no transition or contradictory votes → no information (hold).
+
+All three entry points share one sign/compare core, so a batched row
+votes exactly as its serial run does.
 """
 
 from __future__ import annotations
@@ -23,7 +26,8 @@ import enum
 
 import numpy as np
 
-__all__ = ["PdVote", "alexander_votes"]
+__all__ = ["PdVote", "alexander_votes", "alexander_votes_batch",
+           "vote_step"]
 
 
 class PdVote(enum.IntEnum):
@@ -32,6 +36,31 @@ class PdVote(enum.IntEnum):
     LATE = -1
     HOLD = 0
     EARLY = 1
+
+
+def _sign(values: np.ndarray) -> np.ndarray:
+    """Decision-slicer sign: zero samples count as high."""
+    signs = np.sign(np.asarray(values, dtype=float))
+    signs[signs == 0] = 1
+    return signs
+
+
+def vote_step(previous_data: np.ndarray, samples_edge: np.ndarray,
+              samples_data: np.ndarray) -> np.ndarray:
+    """One Alexander vote per row from aligned A/T/B sample vectors.
+
+    The closed-loop primitive: ``previous_data`` (A), ``samples_edge``
+    (T) and ``samples_data`` (B) hold one sample per parallel loop, and
+    the result is one {-1, 0, +1} vote per loop.
+    """
+    a = _sign(previous_data)
+    b = _sign(samples_data)
+    t = _sign(samples_edge)
+    transition = a != b
+    votes = np.zeros(np.shape(t), dtype=np.int8)
+    votes[transition & (t == a)] = PdVote.EARLY
+    votes[transition & (t == b)] = PdVote.LATE
+    return votes
 
 
 def alexander_votes(samples_data: np.ndarray,
@@ -58,17 +87,29 @@ def alexander_votes(samples_data: np.ndarray,
             f"edge samples must number data samples - 1: "
             f"{len(samples_edge)} vs {len(samples_data)}"
         )
-    a = np.sign(samples_data[:-1])
-    b = np.sign(samples_data[1:])
-    t = np.sign(samples_edge)
-    a[a == 0] = 1
-    b[b == 0] = 1
-    t[t == 0] = 1
+    return vote_step(samples_data[:-1], samples_edge, samples_data[1:])
 
-    transition = a != b
-    early = transition & (t == a)
-    late = transition & (t == b)
-    votes = np.zeros(len(t), dtype=np.int8)
-    votes[early] = PdVote.EARLY
-    votes[late] = PdVote.LATE
-    return votes
+
+def alexander_votes_batch(samples_data: np.ndarray,
+                          samples_edge: np.ndarray) -> np.ndarray:
+    """Alexander votes for a whole batch of sample trains at once.
+
+    ``samples_data`` has shape ``(n_rows, n)`` and ``samples_edge``
+    ``(n_rows, n - 1)``; the result is ``(n_rows, n - 1)`` votes.  Row
+    ``i`` equals ``alexander_votes(samples_data[i], samples_edge[i])``.
+    """
+    samples_data = np.asarray(samples_data, dtype=float)
+    samples_edge = np.asarray(samples_edge, dtype=float)
+    if samples_data.ndim != 2 or samples_edge.ndim != 2:
+        raise ValueError(
+            f"batched votes need 2-D sample stacks, got shapes "
+            f"{samples_data.shape} and {samples_edge.shape}"
+        )
+    if samples_edge.shape != (samples_data.shape[0],
+                              samples_data.shape[1] - 1):
+        raise ValueError(
+            f"edge samples must number data samples - 1 per row: "
+            f"{samples_edge.shape} vs {samples_data.shape}"
+        )
+    return vote_step(samples_data[:, :-1], samples_edge,
+                     samples_data[:, 1:])

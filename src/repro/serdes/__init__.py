@@ -18,7 +18,9 @@ from .serializer import (
     Deserializer,
     align_to_comma,
     LinkReport,
+    LinkBatchReport,
     run_link,
+    run_link_batch,
 )
 
 __all__ = [
@@ -32,5 +34,7 @@ __all__ = [
     "Deserializer",
     "align_to_comma",
     "LinkReport",
+    "LinkBatchReport",
     "run_link",
+    "run_link_batch",
 ]

@@ -11,16 +11,17 @@ composition).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..signals.batch import WaveformBatch
 from ..signals.nrz import NrzEncoder
 from ..signals.waveform import Waveform
 from .encoding import Decoder8b10b, Encoder8b10b, CodingError
 
 __all__ = ["Serializer", "Deserializer", "align_to_comma", "LinkReport",
-           "run_link"]
+           "LinkBatchReport", "run_link", "run_link_batch"]
 
 #: The two transmitted forms of K28.5 (RD- and RD+), transmission order.
 _COMMA_NEG = (0, 0, 1, 1, 1, 1, 1, 0, 1, 0)
@@ -64,57 +65,73 @@ def align_to_comma(bits: np.ndarray, last: bool = False) -> Optional[int]:
     boundaries, so any match is a genuine preamble symbol.)
     """
     bits = np.asarray(bits, dtype=np.int8)
-    found: Optional[int] = None
-    for offset in range(0, len(bits) - 10 + 1):
-        window = bits[offset:offset + 10]
-        for pattern in (_COMMA_NEG, _COMMA_POS):
-            if np.array_equal(window, np.asarray(pattern, dtype=np.int8)):
-                if not last:
-                    return offset
-                found = offset
-    return found
+    if len(bits) < 10:
+        return None
+    windows = np.lib.stride_tricks.sliding_window_view(bits, 10)
+    match = np.zeros(len(windows), dtype=bool)
+    for pattern in (_COMMA_NEG, _COMMA_POS):
+        match |= np.all(windows == np.asarray(pattern, dtype=np.int8),
+                        axis=1)
+    hits = np.nonzero(match)[0]
+    if len(hits) == 0:
+        return None
+    return int(hits[-1] if last else hits[0])
 
 
 @dataclasses.dataclass
 class Deserializer:
-    """Recovered bits -> comma alignment -> 8b/10b decode -> bytes."""
+    """Recovered bits -> comma alignment -> 8b/10b decode -> bytes.
+
+    ``use_last_comma`` selects the alignment strategy: the default
+    aligns to the last comma of the *initial* preamble burst (first
+    comma found, then a bounded walk through the burst — robust against
+    false commas a bit-error stream can fabricate later on);
+    ``use_last_comma=True`` aligns to the final comma anywhere in the
+    stream (:func:`align_to_comma` with ``last=True``), the right mode
+    when the preamble is known to be the only comma source.
+    """
+
+    use_last_comma: bool = False
 
     def deserialize(self, bits: np.ndarray) -> bytes:
-        """Align to the last preamble comma and decode what follows.
+        """Align past the preamble commas and decode what follows.
 
-        Using the *last* comma skips any symbols mangled while the CDR
-        was converging.  Decoding stops at the first invalid group
-        (end-of-stream latency cut) rather than discarding the whole
-        frame; trailing bits that do not fill a 10b group are dropped,
-        as a real elastic buffer would at frame boundaries.
+        Skipping to the end of the comma preamble drops any symbols
+        mangled while the CDR was converging.  Decoding stops at the
+        first invalid group (end-of-stream latency cut) rather than
+        discarding the whole frame; trailing bits that do not fill a
+        10b group are dropped, as a real elastic buffer would at frame
+        boundaries.
         """
         bits = np.asarray(bits)
-        offset = align_to_comma(bits)
+        offset = align_to_comma(bits, last=self.use_last_comma)
         if offset is None:
             raise CodingError("no K28.5 comma found; cannot align")
-        # Walk to the end of the contiguous comma burst: later symbols
-        # recovered mid-lock may be corrupt, and a bit-error stream can
-        # contain *false* commas, so only the initial burst is trusted.
-        patterns = (np.asarray(_COMMA_NEG, dtype=np.int8),
-                    np.asarray(_COMMA_POS, dtype=np.int8))
+        if not self.use_last_comma:
+            # Walk to the end of the contiguous comma burst: later
+            # symbols recovered mid-lock may be corrupt, and a bit-error
+            # stream can contain *false* commas, so only the initial
+            # burst is trusted.
+            patterns = (np.asarray(_COMMA_NEG, dtype=np.int8),
+                        np.asarray(_COMMA_POS, dtype=np.int8))
 
-        def is_comma(start: int) -> bool:
-            if start + 10 > len(bits):
-                return False
-            group = bits[start:start + 10]
-            return any(np.array_equal(group, p) for p in patterns)
+            def is_comma(start: int) -> bool:
+                if start + 10 > len(bits):
+                    return False
+                group = bits[start:start + 10]
+                return any(np.array_equal(group, p) for p in patterns)
 
-        # Tolerate up to two mangled groups inside the burst (symbols
-        # recovered mid-lock): jump to the next comma at 10-bit spacing
-        # within a 3-group lookahead.
-        advanced = True
-        while advanced:
-            advanced = False
-            for jump in (10, 20, 30):
-                if is_comma(offset + jump):
-                    offset += jump
-                    advanced = True
-                    break
+            # Tolerate up to two mangled groups inside the burst
+            # (symbols recovered mid-lock): jump to the next comma at
+            # 10-bit spacing within a 3-group lookahead.
+            advanced = True
+            while advanced:
+                advanced = False
+                for jump in (10, 20, 30):
+                    if is_comma(offset + jump):
+                        offset += jump
+                        advanced = True
+                        break
         aligned = bits[offset:]
         decoder = Decoder8b10b()
         out = bytearray()
@@ -132,13 +149,19 @@ class Deserializer:
 
 @dataclasses.dataclass(frozen=True)
 class LinkReport:
-    """Outcome of a full framed-link run."""
+    """Outcome of a full framed-link run.
+
+    ``cdr_slips`` is the recovering loop's net cycle-slip count; a
+    nonzero value explains a corrupt payload even when the loop reports
+    itself locked (the decision stream shifted mid-frame).
+    """
 
     payload_sent: bytes
     payload_received: bytes
     bits_recovered: int
     cdr_locked: bool
     recovered_jitter_ui: float
+    cdr_slips: int = 0
 
     @property
     def error_free(self) -> bool:
@@ -158,6 +181,37 @@ class LinkReport:
                                           self.payload_received[:n]))
 
 
+def _report_from_cdr(payload: bytes, result,
+                     deserializer: Deserializer,
+                     training_bytes: int) -> LinkReport:
+    """Deserialize one CDR result (serial or a batch row) into a report."""
+    try:
+        decoded = deserializer.deserialize(result.decisions)
+        decoded = decoded[training_bytes:]  # strip the settle pad
+    except CodingError:
+        decoded = b""
+    jitter = (result.recovered_jitter_ui() if result.is_locked else
+              float("nan"))
+    return LinkReport(
+        payload_sent=payload,
+        payload_received=decoded,
+        bits_recovered=len(result.decisions),
+        cdr_locked=result.is_locked,
+        recovered_jitter_ui=jitter,
+        cdr_slips=result.slips,
+    )
+
+
+def _serialize_payload(payload, bit_rate, samples_per_bit,
+                              amplitude, training_commas, training_bytes):
+    serializer = Serializer(bit_rate=bit_rate,
+                            samples_per_bit=samples_per_bit,
+                            amplitude=amplitude,
+                            prepend_commas=training_commas)
+    pad = bytes([0x55]) * training_bytes
+    return serializer.serialize(pad + payload)
+
+
 def run_link(payload: bytes,
              analog_path: Callable[[Waveform], Waveform],
              bit_rate: float = 10e9,
@@ -165,7 +219,8 @@ def run_link(payload: bytes,
              amplitude: float = 0.25,
              cdr_kp: float = 4e-3,
              training_commas: int = 40,
-             training_bytes: int = 8) -> LinkReport:
+             training_bytes: int = 8,
+             use_last_comma: bool = False) -> LinkReport:
     """Run bytes through serializer -> analog path -> CDR -> deserializer.
 
     ``analog_path`` is any waveform transform: an output interface, a
@@ -182,29 +237,106 @@ def run_link(payload: bytes,
     """
     from ..cdr import BangBangCdr, CdrConfig
 
-    serializer = Serializer(bit_rate=bit_rate,
-                            samples_per_bit=samples_per_bit,
-                            amplitude=amplitude,
-                            prepend_commas=training_commas)
-    pad = bytes([0x55]) * training_bytes
-    wave = serializer.serialize(pad + payload)
+    wave = _serialize_payload(payload, bit_rate, samples_per_bit,
+                                     amplitude, training_commas,
+                                     training_bytes)
     received = analog_path(wave)
 
     cdr = BangBangCdr(CdrConfig(bit_rate=bit_rate, kp=cdr_kp))
     result = cdr.recover(received)
+    return _report_from_cdr(payload, result,
+                            Deserializer(use_last_comma=use_last_comma),
+                            training_bytes)
 
-    deserializer = Deserializer()
-    try:
-        decoded = deserializer.deserialize(result.decisions)
-        decoded = decoded[training_bytes:]  # strip the settle pad
-    except CodingError:
-        decoded = b""
-    jitter = (result.recovered_jitter_ui() if result.is_locked else
-              float("nan"))
-    return LinkReport(
-        payload_sent=payload,
-        payload_received=decoded,
-        bits_recovered=len(result.decisions),
-        cdr_locked=result.is_locked,
-        recovered_jitter_ui=jitter,
-    )
+
+@dataclasses.dataclass(frozen=True)
+class LinkBatchReport:
+    """Outcome of N framed-link scenarios recovered as one batch."""
+
+    reports: List[LinkReport]
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of link scenarios in the batch."""
+        return len(self.reports)
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    def __getitem__(self, index: int) -> LinkReport:
+        return self.reports[index]
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def lock_yield(self) -> float:
+        """Fraction of scenarios whose CDR locked."""
+        return float(np.mean([r.cdr_locked for r in self.reports]))
+
+    def frame_error_rate(self) -> float:
+        """Fraction of scenarios whose payload did not survive."""
+        return float(np.mean([not r.error_free for r in self.reports]))
+
+    def slips(self) -> np.ndarray:
+        """Per-scenario net CDR cycle-slip counts."""
+        return np.array([r.cdr_slips for r in self.reports],
+                        dtype=np.int64)
+
+    def recovered_jitter_ui(self) -> np.ndarray:
+        """Per-scenario post-lock jitter (NaN where unlocked)."""
+        return np.array([r.recovered_jitter_ui for r in self.reports])
+
+
+def run_link_batch(payload: bytes,
+                   analog_path: Callable[[Waveform],
+                                         "WaveformBatch | Waveform"],
+                   bit_rate: float = 10e9,
+                   samples_per_bit: int = 16,
+                   amplitude: float = 0.25,
+                   cdr_kp: float = 4e-3,
+                   training_commas: int = 40,
+                   training_bytes: int = 8,
+                   use_last_comma: bool = False) -> LinkBatchReport:
+    """Run N framed-link scenarios with one serialization and one
+    batched closed-loop CDR recovery.
+
+    The payload is 8b/10b-coded and serialized **once**; ``analog_path``
+    receives that transmit waveform and returns a
+    :class:`~repro.signals.batch.WaveformBatch` of N receive-side
+    scenarios (tile it and add per-scenario noise/jitter, or push it
+    through any batch-transparent pipeline — e.g.
+    ``WaveformBatch.with_noise_seeds`` then ``rx.process``).  All N CDR
+    loops advance together through
+    :meth:`~repro.cdr.BangBangCdr.recover_batch`, and each recovered
+    decision stream is comma-aligned and decoded independently.
+
+    Scenario ``i`` of the result equals ``run_link`` on the same
+    per-row waveform: the batched loop is row-exact against the serial
+    one and the framing layers are identical.  A path returning a plain
+    :class:`~repro.signals.waveform.Waveform` is treated as a 1-row
+    batch.
+    """
+    from ..cdr import BangBangCdr, CdrConfig
+
+    wave = _serialize_payload(payload, bit_rate, samples_per_bit,
+                                     amplitude, training_commas,
+                                     training_bytes)
+    received = analog_path(wave)
+    if isinstance(received, Waveform):
+        received = WaveformBatch(received.data[np.newaxis, :],
+                                 received.sample_rate, t0=received.t0)
+    if not isinstance(received, WaveformBatch):
+        raise TypeError(
+            f"analog_path must return a WaveformBatch (or Waveform), "
+            f"got {type(received).__name__}"
+        )
+
+    cdr = BangBangCdr(CdrConfig(bit_rate=bit_rate, kp=cdr_kp))
+    batch_result = cdr.recover_batch(received)
+    deserializer = Deserializer(use_last_comma=use_last_comma)
+    reports = [
+        _report_from_cdr(payload, batch_result.row(i), deserializer,
+                         training_bytes)
+        for i in range(batch_result.n_scenarios)
+    ]
+    return LinkBatchReport(reports=reports)

@@ -23,7 +23,7 @@ from typing import Callable, Iterator, List, Sequence
 
 import numpy as np
 
-from .waveform import Waveform
+from .waveform import Waveform, sample_uniform
 
 __all__ = ["WaveformBatch"]
 
@@ -165,6 +165,18 @@ class WaveformBatch:
         if self.n_samples == 0:
             return np.zeros(self.n_scenarios)
         return np.mean(self.data, axis=-1)
+
+    def sample_at(self, times) -> np.ndarray:
+        """Per-row linearly interpolated samples at per-row instants.
+
+        ``times`` may be a scalar (same instant for every row), a
+        ``(n_scenarios,)`` vector (one instant per row — the closed-loop
+        CDR's per-bit case, where every scenario tracks its own phase)
+        or ``(n_scenarios, m)``.  Row ``i`` of the result equals
+        ``self[i].sample_at(times[i])`` exactly: both paths share one
+        interpolation kernel.
+        """
+        return sample_uniform(self.data, self.t0, self.sample_rate, times)
 
     # -- arithmetic --------------------------------------------------------
     def _coerce(self, other) -> np.ndarray:

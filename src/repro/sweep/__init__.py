@@ -26,6 +26,7 @@ rebuilds pipelines only along structural axes.
 """
 
 from .grid import ScenarioGrid, SweepAxis
-from .runner import SweepResult, SweepRunner
+from .runner import SweepResult, SweepRunner, closed_loop_cdr_measure
 
-__all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult"]
+__all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult",
+           "closed_loop_cdr_measure"]

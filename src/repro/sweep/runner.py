@@ -26,7 +26,48 @@ from ..signals.batch import WaveformBatch
 from ..signals.waveform import Waveform
 from .grid import ScenarioGrid
 
-__all__ = ["SweepRunner", "SweepResult"]
+__all__ = ["SweepRunner", "SweepResult", "closed_loop_cdr_measure"]
+
+
+def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
+                            reduce: Optional[Callable[[Any, Dict], Any]]
+                            = None):
+    """Build a ``(measure, measure_batch)`` pair running the bang-bang
+    CDR closed-loop over every scenario.
+
+    The batched half advances all of a structural point's scenarios
+    through :meth:`~repro.cdr.BangBangCdr.recover_batch` in one pass —
+    the serial half (used by :meth:`SweepRunner.run_serial`) recovers
+    each row on its own, and the two are row-exact by construction.
+
+    ``reduce(result, params)`` maps each per-scenario
+    :class:`~repro.cdr.CdrResult` to the value recorded in the
+    :class:`SweepResult` (default: the result itself).  Pass both
+    returned callables to the runner::
+
+        measure, measure_batch = closed_loop_cdr_measure(
+            CdrConfig(bit_rate=10e9),
+            reduce=lambda r, p: r.is_locked)
+        runner = SweepRunner(grid, stimulus=make_wave,
+                             measure=measure, measure_batch=measure_batch)
+    """
+    from ..cdr import BangBangCdr
+
+    cdr = BangBangCdr(config)
+
+    def measure(wave: Waveform, params: Dict) -> Any:
+        result = cdr.recover(wave, n_bits=n_bits)
+        return reduce(result, params) if reduce is not None else result
+
+    def measure_batch(batch: WaveformBatch,
+                      params_list: List[Dict]) -> List[Any]:
+        rows = cdr.recover_batch(batch, n_bits=n_bits).rows()
+        if reduce is not None:
+            return [reduce(row, params)
+                    for row, params in zip(rows, params_list)]
+        return rows
+
+    return measure, measure_batch
 
 
 @dataclasses.dataclass

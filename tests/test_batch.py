@@ -306,3 +306,36 @@ def test_pulse_response_batch_matches_serial():
                                 amplitude=amplitude)
         assert response.cursor_index == serial.cursor_index
         np.testing.assert_array_equal(response.cursors, serial.cursors)
+
+
+# -- per-row interpolated sampling --------------------------------------------
+
+def test_batch_sample_at_per_row_instants_match_serial():
+    rng = np.random.default_rng(9)
+    batch = WaveformBatch(rng.normal(size=(5, 64)), 16e9, t0=1e-10)
+    times = batch.t0 + rng.uniform(0, 60 / 16e9, size=5)
+    sampled = batch.sample_at(times)
+    assert sampled.shape == (5,)
+    for i in range(5):
+        assert sampled[i] == float(batch[i].sample_at(times[i]))
+
+
+def test_batch_sample_at_shared_scalar_and_2d_instants():
+    rng = np.random.default_rng(10)
+    batch = WaveformBatch(rng.normal(size=(4, 32)), 1.0)
+    shared = batch.sample_at(7.25)
+    assert shared.shape == (4,)
+    grid = rng.uniform(0, 30, size=(4, 6))
+    sampled = batch.sample_at(grid)
+    assert sampled.shape == (4, 6)
+    for i in range(4):
+        np.testing.assert_array_equal(sampled[i],
+                                      batch[i].sample_at(grid[i]))
+
+
+def test_batch_sample_at_rejects_mismatched_instant_rows():
+    batch = WaveformBatch(np.zeros((4, 16)), 1.0)
+    with pytest.raises(ValueError):
+        batch.sample_at(np.zeros(3))
+    with pytest.raises(ValueError):
+        batch.sample_at(np.zeros((5, 2)))

@@ -1,10 +1,25 @@
-"""Clock-data recovery: phase detector votes and loop locking."""
+"""Clock-data recovery: phase detector votes, loop locking, cycle
+slips, and batched-vs-serial row-exactness."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
-from repro.cdr import BangBangCdr, CdrConfig, PdVote, alexander_votes
-from repro.signals import RandomJitter, NrzEncoder, bits_to_nrz, prbs7
+from repro.cdr import (
+    BangBangCdr,
+    CdrConfig,
+    PdVote,
+    alexander_votes,
+    alexander_votes_batch,
+)
+from repro.signals import (
+    RandomJitter,
+    NrzEncoder,
+    WaveformBatch,
+    bits_to_nrz,
+    prbs7,
+)
 
 BIT_RATE = 10e9
 
@@ -42,6 +57,23 @@ def test_votes_vectorized():
 def test_votes_length_validation():
     with pytest.raises(ValueError):
         alexander_votes(np.array([1.0, 1.0]), np.array([0.5, 0.5]))
+
+
+def test_votes_batch_matches_rows():
+    rng = np.random.default_rng(5)
+    data = rng.normal(size=(6, 40))
+    edge = rng.normal(size=(6, 39))
+    batched = alexander_votes_batch(data, edge)
+    for i in range(len(data)):
+        np.testing.assert_array_equal(batched[i],
+                                      alexander_votes(data[i], edge[i]))
+
+
+def test_votes_batch_validation():
+    with pytest.raises(ValueError):
+        alexander_votes_batch(np.ones((2, 5)), np.ones((2, 5)))
+    with pytest.raises(ValueError):
+        alexander_votes_batch(np.ones(5), np.ones(4))
 
 
 # -- loop ---------------------------------------------------------------
@@ -147,3 +179,197 @@ def test_result_accessors_require_lock():
         unlocked.steady_state_phase_ui()
     with pytest.raises(ValueError):
         unlocked.recovered_jitter_ui()
+
+
+# -- cycle slips and frequency offset -----------------------------------
+
+
+def test_no_slips_on_clean_tracking():
+    result = BangBangCdr(CdrConfig(bit_rate=BIT_RATE)).recover(clean_wave())
+    assert result.slips == 0
+
+
+def test_frequency_offset_pull_in():
+    # A 300 ppm offset with a live integral path: the loop pulls the
+    # frequency in without slipping a cycle and still decodes the data.
+    config = CdrConfig(bit_rate=BIT_RATE, ki=5e-5,
+                       initial_frequency_ppm=300.0)
+    result = BangBangCdr(config).recover(clean_wave(n_bits=800))
+    assert result.slips == 0
+    assert result.is_locked
+    bits = prbs7(800)
+    errors = min(
+        int(np.sum(result.decisions[lag:lag + 500] != bits[:500]))
+        for lag in range(0, 4)
+    )
+    assert errors <= 1
+
+
+def test_induced_cycle_slip_is_tracked_and_index_consistent():
+    # ki = 0 cannot absorb a steady frequency ramp: the phase marches
+    # through +-1 UI and must wrap.  The wrap is a counted slip and the
+    # decision stream stays one-per-loop-step (no silent duplicates or
+    # drops): after the slips, the decisions align to the transmitted
+    # pattern at a lag that reflects the slipped bits.
+    n_bits = 600
+    bits = prbs7(n_bits)
+    wave = bits_to_nrz(bits, BIT_RATE, amplitude=0.4, samples_per_bit=16)
+    config = CdrConfig(bit_rate=BIT_RATE, ki=0.0,
+                       initial_frequency_ppm=4000.0)
+    result = BangBangCdr(config).recover(wave)
+
+    assert result.slips >= 1
+    # Index consistency: one decision, one phase point, one vote slot
+    # per executed loop step.
+    assert len(result.decisions) == len(result.phase_track_ui)
+    assert len(result.decisions) == len(result.votes)
+    # The tail of the decision stream matches the pattern shifted by
+    # (about) the slip count — the slipped bits were skipped, not
+    # duplicated into the stream.
+    tail_len = 100
+    k0 = len(result.decisions) - tail_len
+    tail = result.decisions[k0:]
+    matches = [
+        lag for lag in range(result.slips + 3)
+        if np.array_equal(tail, bits[k0 + lag:k0 + lag + tail_len])
+    ]
+    assert matches, "slipped stream no longer aligns to the pattern"
+    assert max(matches) >= result.slips - 1
+
+
+def test_slip_keeps_sampling_instant_continuous():
+    # Across a wrap the recorded (wrapped) phase jumps by ~1 UI exactly
+    # once per slip; the unwrapped sampling instant never jumps.
+    config = CdrConfig(bit_rate=BIT_RATE, ki=0.0,
+                       initial_frequency_ppm=4000.0)
+    result = BangBangCdr(config).recover(clean_wave(n_bits=600))
+    jumps = np.abs(np.diff(result.phase_track_ui)) > 0.5
+    assert int(np.sum(jumps)) == abs(result.slips)
+
+
+# -- vectorized lock detection ------------------------------------------
+
+
+def naive_detect_lock(phases, window=64, tolerance_ui=0.05):
+    """The seed's O(n*window) reference implementation."""
+    if len(phases) < 2 * window:
+        return -1
+    for start in range(0, len(phases) - window):
+        segment = phases[start:start + window]
+        if np.ptp(segment) < tolerance_ui:
+            remaining = phases[start:]
+            if np.ptp(remaining) < 2 * tolerance_ui:
+                return start
+    return -1
+
+
+def test_detect_lock_matches_naive_reference():
+    rng = np.random.default_rng(17)
+    tracks = [
+        # Converging pull-in: ramp into a small limit cycle.
+        np.concatenate([np.linspace(0.4, 0.0, 150),
+                        0.004 * rng.standard_normal(250)]),
+        # Pure limit cycle from the start.
+        0.01 * np.sin(np.arange(300)),
+        # Random walk: never locks.
+        np.cumsum(0.02 * rng.standard_normal(400)),
+        # Locks, then wanders off: the suffix guard must reject early
+        # windows.
+        np.concatenate([0.002 * rng.standard_normal(200),
+                        np.linspace(0.0, 0.5, 100)]),
+        # Too short for the window.
+        np.zeros(100),
+        # Exactly at the 2*window boundary.
+        0.001 * rng.standard_normal(128),
+    ]
+    for i, track in enumerate(tracks):
+        expected = naive_detect_lock(track)
+        got = BangBangCdr._detect_lock(track)
+        assert got == expected, f"track {i}: {got} != {expected}"
+
+
+def test_detect_lock_matches_naive_on_real_tracks():
+    for phase0 in (-0.4, 0.1, 0.45):
+        config = CdrConfig(bit_rate=BIT_RATE, initial_phase_ui=phase0)
+        track = BangBangCdr(config).recover(clean_wave()).phase_track_ui
+        assert BangBangCdr._detect_lock(track) == naive_detect_lock(track)
+
+
+# -- batched closed-loop recovery ---------------------------------------
+
+
+def jittered_batch(n_rows=6, n_bits=600, amplitude=0.4):
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=amplitude)
+    bits = prbs7(n_bits)
+    waves = [
+        encoder.encode(bits, edge_offsets=RandomJitter(
+            3e-12, seed=seed).offsets(n_bits, BIT_RATE))
+        for seed in range(1, n_rows + 1)
+    ]
+    return WaveformBatch.stack(waves)
+
+
+def test_recover_batch_rows_match_serial_on_jittered_waveforms():
+    batch = jittered_batch()
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
+    batched = cdr.recover_batch(batch)
+    assert batched.n_scenarios == len(batch)
+    for i in range(len(batch)):
+        serial = cdr.recover(batch[i])
+        row = batched.row(i)
+        np.testing.assert_array_equal(row.decisions, serial.decisions)
+        np.testing.assert_array_equal(row.phase_track_ui,
+                                      serial.phase_track_ui)
+        np.testing.assert_array_equal(row.votes, serial.votes)
+        assert row.locked_at_bit == serial.locked_at_bit
+        assert row.slips == serial.slips
+    assert batched.lock_yield() == 1.0
+    assert np.isfinite(batched.recovered_jitter_ui()).all()
+
+
+def test_recover_batch_rows_match_serial_with_slips():
+    # Row-exactness must survive cycle slips and per-row truncation.
+    batch = jittered_batch(n_rows=4)
+    config = CdrConfig(bit_rate=BIT_RATE, ki=0.0,
+                       initial_frequency_ppm=4000.0)
+    cdr = BangBangCdr(config)
+    batched = cdr.recover_batch(batch)
+    for i in range(len(batch)):
+        serial = cdr.recover(batch[i])
+        row = batched.row(i)
+        assert int(batched.n_bits[i]) == len(serial.decisions)
+        np.testing.assert_array_equal(row.decisions, serial.decisions)
+        np.testing.assert_array_equal(row.phase_track_ui,
+                                      serial.phase_track_ui)
+        assert row.slips == serial.slips
+        assert row.slips >= 1
+
+
+def test_recover_batch_initial_state_overrides():
+    batch = jittered_batch(n_rows=3)
+    base = CdrConfig(bit_rate=BIT_RATE)
+    phases0 = np.array([-0.3, 0.0, 0.4])
+    ppm = np.array([0.0, 100.0, -100.0])
+    batched = BangBangCdr(base).recover_batch(
+        batch, initial_phase_ui=phases0, initial_frequency_ppm=ppm)
+    for i in range(3):
+        config = dataclasses.replace(base,
+                                     initial_phase_ui=float(phases0[i]),
+                                     initial_frequency_ppm=float(ppm[i]))
+        serial = BangBangCdr(config).recover(batch[i])
+        np.testing.assert_array_equal(batched.row(i).decisions,
+                                      serial.decisions)
+        np.testing.assert_array_equal(batched.row(i).phase_track_ui,
+                                      serial.phase_track_ui)
+
+
+def test_recover_batch_validation():
+    batch = jittered_batch(n_rows=2)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
+    with pytest.raises(ValueError):
+        cdr.recover_batch(batch, initial_phase_ui=np.zeros(5))
+    short = WaveformBatch.tiled(
+        bits_to_nrz(prbs7(10), BIT_RATE, samples_per_bit=16), 3)
+    with pytest.raises(ValueError):
+        cdr.recover_batch(short)

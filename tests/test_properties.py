@@ -183,6 +183,9 @@ def test_delay_never_exceeds_input_range(data):
        st.integers(min_value=1, max_value=1000))
 @settings(max_examples=30, deadline=None)
 def test_prbs_period_and_balance(order, seed):
+    # The generator's contract: the seed must be nonzero modulo
+    # 2**order (an all-zero register never leaves the zero state).
+    assume(seed & ((1 << order) - 1) != 0)
     gen = PrbsGenerator(order=order, seed=seed)
     period = gen.period
     seq = gen.bits(period)

@@ -13,7 +13,9 @@ from repro.serdes import (
     decode_bits,
     encode_bytes,
     run_link,
+    run_link_batch,
 )
+from repro.signals import WaveformBatch, add_awgn
 
 
 def max_run_length(bits):
@@ -105,6 +107,20 @@ def test_comma_found_at_any_offset():
 
 def test_no_comma_returns_none():
     assert align_to_comma(np.zeros(50, dtype=np.int8)) is None
+    assert align_to_comma(np.zeros(50, dtype=np.int8), last=True) is None
+    assert align_to_comma(np.zeros(5, dtype=np.int8)) is None
+
+
+def test_align_to_comma_first_vs_last():
+    # Two comma bursts separated by data: first/last must land on the
+    # first symbol of each respective burst.
+    encoder = Encoder8b10b()
+    first_burst = encoder.encode(b"\x11\x22", prepend_commas=2)
+    second = encoder.encode_symbol(0xBC, control=True)
+    stream = np.concatenate([np.zeros(7, dtype=np.int8), first_burst,
+                             second, np.ones(4, dtype=np.int8)])
+    assert align_to_comma(stream) == 7
+    assert align_to_comma(stream, last=True) == 7 + len(first_burst)
 
 
 def test_deserializer_aligns_and_decodes():
@@ -116,9 +132,35 @@ def test_deserializer_aligns_and_decodes():
     assert Deserializer().deserialize(stream) == payload
 
 
+def test_deserializer_both_comma_modes_on_clean_preamble():
+    # With a single preamble burst the two alignment strategies agree:
+    # burst-walk from the first comma and global last comma land on the
+    # same symbol boundary.
+    payload = b"comma modes"
+    bits = encode_bytes(payload, prepend_commas=4)
+    stream = np.concatenate([np.array([1, 0, 1], dtype=np.int8), bits])
+    assert Deserializer().deserialize(stream) == payload
+    assert Deserializer(use_last_comma=True).deserialize(stream) == payload
+
+
+def test_deserializer_last_comma_mode_skips_mangled_preamble():
+    # Corrupt three consecutive preamble symbols — more than the
+    # burst-walk's 3-group lookahead tolerates — so the default mode
+    # stops inside the preamble while the last-comma mode still lands
+    # on the final comma and recovers the payload.
+    payload = b"\x42\x43\x44\x45"
+    bits = encode_bytes(payload, prepend_commas=12).copy()
+    bits[30:60] = 0  # symbols 3, 4, 5 of the burst
+    assert Deserializer(use_last_comma=True).deserialize(bits) == payload
+    assert Deserializer().deserialize(bits) != payload
+
+
 def test_deserializer_without_comma_raises():
     with pytest.raises(CodingError):
         Deserializer().deserialize(np.zeros(100, dtype=np.int8))
+    with pytest.raises(CodingError):
+        Deserializer(use_last_comma=True).deserialize(
+            np.zeros(100, dtype=np.int8))
 
 
 # -- full framed link ---------------------------------------------------------
@@ -163,3 +205,62 @@ def test_link_fails_gracefully_when_eye_closed():
     brutal = BackplaneChannel(1.5)
     report = run_link(bytes(range(60)), analog_path=brutal.process)
     assert not report.error_free
+
+
+def test_link_last_comma_mode_end_to_end():
+    report = run_link(b"last comma framing", analog_path=lambda w: w,
+                      use_last_comma=True)
+    assert report.cdr_locked
+    assert report.error_free
+    assert report.cdr_slips == 0
+
+
+# -- batched framed link ------------------------------------------------------
+
+def test_link_batch_rows_match_serial_run_link():
+    payload = b"0123456789abcdef" * 2
+    seeds = [1, 2, 3, 4]
+    rms = 0.01
+    batch_report = run_link_batch(
+        payload,
+        analog_path=lambda w: WaveformBatch.with_noise_seeds(w, rms, seeds),
+        training_commas=24, training_bytes=4,
+    )
+    assert batch_report.n_scenarios == len(seeds)
+    for seed, from_batch in zip(seeds, batch_report):
+        reference = run_link(
+            payload,
+            analog_path=lambda w, seed=seed: add_awgn(w, rms, seed=seed),
+            training_commas=24, training_bytes=4,
+        )
+        assert from_batch.payload_received == reference.payload_received
+        assert from_batch.cdr_locked == reference.cdr_locked
+        assert from_batch.cdr_slips == reference.cdr_slips
+        assert from_batch.recovered_jitter_ui == \
+            reference.recovered_jitter_ui
+    assert batch_report.frame_error_rate() == 0.0
+    assert batch_report.lock_yield() == 1.0
+
+
+def test_link_batch_through_batch_transparent_receiver():
+    from repro.core import build_input_interface
+
+    rx = build_input_interface(equalizer_control_voltage=0.6)
+    report = run_link_batch(
+        bytes(range(40)),
+        analog_path=lambda w: rx.process(
+            WaveformBatch.tiled(w * 0.04, 3)),
+        training_commas=24, training_bytes=4,
+    )
+    assert report.n_scenarios == 3
+    assert report.lock_yield() == 1.0
+    assert report.frame_error_rate() == 0.0
+    assert np.all(report.slips() == 0)
+
+
+def test_link_batch_accepts_single_waveform_and_rejects_junk():
+    report = run_link_batch(b"single row", analog_path=lambda w: w)
+    assert report.n_scenarios == 1
+    assert report[0].error_free
+    with pytest.raises(TypeError):
+        run_link_batch(b"junk", analog_path=lambda w: w.data)

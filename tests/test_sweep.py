@@ -203,3 +203,65 @@ def test_process_pool_falls_back_on_unpicklable_callables():
         processes=2,
     ).run()
     assert result.results == [1.0, 2.0]
+
+
+# -- closed-loop CDR measure path ---------------------------------------------
+
+def test_closed_loop_cdr_measure_batched_matches_serial():
+    from repro.cdr import CdrConfig, CdrResult
+    from repro.signals import NrzEncoder, RandomJitter
+    from repro.sweep import closed_loop_cdr_measure
+
+    n_bits = 200
+    bits = prbs7(n_bits)
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=8,
+                         amplitude=0.4)
+
+    def stimulus(params):
+        jitter = RandomJitter(2e-12, seed=params["seed"])
+        return encoder.encode(
+            bits, edge_offsets=jitter.offsets(n_bits, BIT_RATE))
+
+    grid = ScenarioGrid([SweepAxis("seed", tuple(range(1, 9)))])
+    measure, measure_batch = closed_loop_cdr_measure(
+        CdrConfig(bit_rate=BIT_RATE, kp=8e-3))
+    runner = SweepRunner(grid, stimulus=stimulus, measure=measure,
+                         measure_batch=measure_batch)
+
+    batched = runner.run()
+    serial = runner.run_serial()
+    assert len(batched.results) == grid.n_scenarios
+    for from_batch, reference in zip(batched.results, serial.results):
+        assert isinstance(from_batch, CdrResult)
+        np.testing.assert_array_equal(from_batch.decisions,
+                                      reference.decisions)
+        np.testing.assert_array_equal(from_batch.phase_track_ui,
+                                      reference.phase_track_ui)
+        assert from_batch.locked_at_bit == reference.locked_at_bit
+        assert from_batch.slips == reference.slips
+
+
+def test_closed_loop_cdr_measure_reduce_and_n_bits():
+    from repro.cdr import CdrConfig
+    from repro.sweep import closed_loop_cdr_measure
+
+    grid = ScenarioGrid([SweepAxis("amplitude", (0.2, 0.4, 0.8))])
+
+    def stimulus(params):
+        return bits_to_nrz(prbs7(200), BIT_RATE,
+                           amplitude=params["amplitude"],
+                           samples_per_bit=8)
+
+    measure, measure_batch = closed_loop_cdr_measure(
+        CdrConfig(bit_rate=BIT_RATE, kp=8e-3), n_bits=160,
+        reduce=lambda r, p: (p["amplitude"], len(r.decisions),
+                             r.is_locked))
+    runner = SweepRunner(grid, stimulus=stimulus, measure=measure,
+                         measure_batch=measure_batch)
+    batched = runner.run()
+    assert batched.results == runner.run_serial().results
+    for (amplitude, n_decisions, locked), params in zip(batched.results,
+                                                        batched.params):
+        assert amplitude == params["amplitude"]
+        assert n_decisions == 160
+        assert locked

@@ -154,3 +154,35 @@ def test_differential_map_each():
     pair = DifferentialWaveform.from_differential(diff)
     doubled = pair.map_each(lambda x: 2.0 * x)
     np.testing.assert_allclose(doubled.differential().data, [2.0, -2.0])
+
+
+# -- interpolated sampling ----------------------------------------------------
+
+def test_sample_at_matches_np_interp_inside_grid():
+    rng = np.random.default_rng(2)
+    w = make(rng.normal(size=32), fs=8.0, t0=0.5)
+    times = np.linspace(0.6, 4.2, 40)
+    np.testing.assert_allclose(w.sample_at(times),
+                               np.interp(times, w.time, w.data),
+                               rtol=0, atol=1e-15)
+
+
+def test_sample_at_clamps_outside_grid():
+    w = make([1.0, 2.0, 3.0], fs=1.0)
+    assert float(w.sample_at(-5.0)) == 1.0
+    assert float(w.sample_at(99.0)) == 3.0
+
+
+def test_sample_at_scalar_and_exact_nodes():
+    w = make([0.0, 1.0, 4.0, 9.0], fs=2.0)
+    assert float(w.sample_at(0.5)) == 1.0
+    assert float(w.sample_at(0.75)) == pytest.approx(2.5)
+
+
+def test_sample_uniform_needs_two_samples():
+    from repro.signals.waveform import sample_uniform
+
+    with pytest.raises(ValueError):
+        sample_uniform(np.array([1.0]), 0.0, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        sample_uniform(np.zeros((2, 2, 2)), 0.0, 1.0, 0.0)
