@@ -44,6 +44,7 @@ from .isi import (
 from .jitter_decomposition import (
     JitterDecomposition,
     decompose_jitter,
+    decompose_jitter_batch,
     decompose_crossings,
 )
 from .mask import EyeMask, MaskResult, check_mask
@@ -78,6 +79,7 @@ __all__ = [
     "worst_case_eye_opening",
     "JitterDecomposition",
     "decompose_jitter",
+    "decompose_jitter_batch",
     "decompose_crossings",
     "EyeMask",
     "MaskResult",

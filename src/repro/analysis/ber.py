@@ -134,11 +134,14 @@ def bathtub_from_waveform(wave: Waveform, bit_rate: float,
     sigma = max(sigma, 1e-6)
 
     phases = np.linspace(0.0, 1.0, n_phases)
-    # Crossings at mu (left edge of this eye) and mu + 1 (right edge).
+    # Crossings repeat at mu + k for every integer k: measure each
+    # phase against the nearest crossing below (distance ``offset``) and
+    # above (``1 - offset``) so a crossing cluster sitting at either
+    # side of the 0/1 UI seam produces the same curve.
     def tail(x: np.ndarray) -> np.ndarray:
         return 0.5 * erfc(x / (sigma * math.sqrt(2.0)))
 
-    ber_left = 0.5 * tail(phases - mu)
-    ber_right = 0.5 * tail((mu + 1.0) - phases)
-    ber = np.clip(ber_left + ber_right, 1e-30, 0.5)
+    offset = np.mod(phases - mu, 1.0)
+    ber = np.clip(0.5 * tail(offset) + 0.5 * tail(1.0 - offset),
+                  1e-30, 0.5)
     return BathtubCurve(phases_ui=phases, ber=ber)

@@ -26,6 +26,25 @@ __all__ = ["EyeMeasurement", "EyeDiagram", "EyeDiagramBatch",
            "measure_eye_batch"]
 
 
+def _center_crossings_ui(crossings: np.ndarray) -> np.ndarray:
+    """Center a modulo-1 crossing cluster on its circular mean.
+
+    Crossing positions live on the UI circle: a cluster straddling the
+    0/1 boundary (e.g. crossings at 0.02 and 0.98 UI) wraps, and any
+    linear statistic of the raw values — in particular the median, whose
+    value lands mid-range for a balanced straddling cluster — fails to
+    detect it, reporting ~1 UI of peak-to-peak jitter for a clean eye.
+    The circular mean has no such failure mode: it always points at the
+    cluster, so shifting the wrap seam half a UI away from it unwraps
+    every cluster correctly.
+    """
+    angles = 2.0 * np.pi * crossings
+    center = np.arctan2(np.mean(np.sin(angles)),
+                        np.mean(np.cos(angles))) / (2.0 * np.pi)
+    center = np.mod(center, 1.0)
+    return np.mod(crossings - center + 0.5, 1.0) - 0.5 + center
+
+
 @dataclasses.dataclass(frozen=True)
 class EyeMeasurement:
     """The numbers a scope's eye-mask panel reports.
@@ -160,10 +179,10 @@ class EyeDiagram:
         frac = v0 / (v0 - v1)
         times = (idx + frac) / self.samples_per_ui
         crossings = np.mod(times, 1.0)
-        # Center the cluster: crossings near 0/1 wrap; shift so the mean
-        # crossing sits mid-range before measuring spread.
-        shifted = np.mod(crossings - np.median(crossings) + 0.5, 1.0)
-        return shifted - 0.5 + np.median(crossings)
+        # Center the cluster: crossings near 0/1 wrap; shift the wrap
+        # seam half a UI away from the circular mean before measuring
+        # spread (a straddling cluster defeats linear centering).
+        return _center_crossings_ui(crossings)
 
     def jitter_rms_ui(self) -> float:
         """RMS crossing jitter in UI."""
@@ -295,6 +314,8 @@ class EyeDiagramBatch:
         )
         self.n_ui = n_ui
         self.n_scenarios = batch.n_scenarios
+        self._crossings: "List[np.ndarray] | None" = None
+        self._jitter: "tuple[np.ndarray, np.ndarray] | None" = None
 
     def eye_heights(self) -> np.ndarray:
         """Vertical opening per (scenario, phase), shape
@@ -308,6 +329,63 @@ class EyeDiagramBatch:
     def best_phase_indices(self) -> np.ndarray:
         """Per-scenario sampling phase maximizing the vertical opening."""
         return np.argmax(self.eye_heights(), axis=1)
+
+    # -- horizontal measurements (vectorized extraction) -------------------
+    def crossing_times_ui(self) -> List[np.ndarray]:
+        """Per-scenario zero-crossing positions in UI modulo 1.
+
+        The extraction — sign changes, bracketing-sample interpolation —
+        runs as one vectorized pass over the whole batch, cached across
+        the horizontal-metric accessors; only the cheap per-row circular
+        centering loops in Python.  Row ``i`` equals
+        ``EyeDiagram.crossing_times_ui()`` of that scenario exactly.
+        """
+        if self._crossings is not None:
+            return self._crossings
+        flat = self.traces.reshape(self.n_scenarios, -1)
+        sign = np.sign(flat)
+        sign[sign == 0] = 1
+        rows, cols = np.nonzero(np.diff(sign, axis=1) != 0)
+        v0 = flat[rows, cols]
+        v1 = flat[rows, cols + 1]
+        frac = v0 / (v0 - v1)
+        times = (cols + frac) / self.samples_per_ui
+        crossings = np.mod(times, 1.0)
+        counts = np.bincount(rows, minlength=self.n_scenarios)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        out: List[np.ndarray] = []
+        for i in range(self.n_scenarios):
+            chunk = crossings[offsets[i]:offsets[i + 1]]
+            out.append(_center_crossings_ui(chunk) if chunk.size
+                       else np.array([]))
+        self._crossings = out
+        return out
+
+    def _horizontal_metrics(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row (RMS, peak-to-peak) crossing jitter from one cached
+        extraction pass."""
+        if self._jitter is not None:
+            return self._jitter
+        rms = np.zeros(self.n_scenarios)
+        pp = np.zeros(self.n_scenarios)
+        for i, times in enumerate(self.crossing_times_ui()):
+            if times.size >= 2:
+                rms[i] = float(np.std(times))
+                pp[i] = float(np.ptp(times))
+        self._jitter = (rms, pp)
+        return rms, pp
+
+    def jitter_rms_ui(self) -> np.ndarray:
+        """Per-row RMS crossing jitter in UI."""
+        return self._horizontal_metrics()[0]
+
+    def jitter_pp_ui(self) -> np.ndarray:
+        """Per-row peak-to-peak crossing jitter in UI."""
+        return self._horizontal_metrics()[1]
+
+    def eye_width_ui(self) -> np.ndarray:
+        """Per-row horizontal opening: 1 UI minus the p-p jitter."""
+        return np.maximum(0.0, 1.0 - self._horizontal_metrics()[1])
 
     def measure_all(self) -> List[EyeMeasurement]:
         """One :class:`EyeMeasurement` per scenario."""

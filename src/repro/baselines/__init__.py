@@ -25,7 +25,11 @@ from .digital_preemphasis import (
     taps_equivalent_to_peaking,
 )
 from .ctle import GenericCtle, ctle_matching_equalizer
-from .dfe import DecisionFeedbackEqualizer, dfe_taps_from_channel
+from .dfe import (
+    DecisionFeedbackEqualizer,
+    dfe_taps_from_channel,
+    inner_eye_height_from_corrected,
+)
 
 __all__ = [
     "equivalent_spiral_load",
@@ -47,4 +51,5 @@ __all__ = [
     "ctle_matching_equalizer",
     "DecisionFeedbackEqualizer",
     "dfe_taps_from_channel",
+    "inner_eye_height_from_corrected",
 ]

@@ -9,6 +9,19 @@ pre-cursor ISI and it needs a decision clock (a CDR) to exist.
 The paper's receive equalization is purely analog (the Cherry-Hooper
 high-pass); this baseline quantifies what a small DFE would add on the
 same channels — the road the field took in the years after the paper.
+
+Two execution paths share one set of kernels, mirroring the CDR layer:
+
+* :meth:`DecisionFeedbackEqualizer.equalize` — the serial reference,
+  one scalar decision history per waveform;
+* :meth:`DecisionFeedbackEqualizer.equalize_batch` — N scenarios
+  advanced together, one bit-step at a time, with per-row decision
+  history and vectorized interpolation sampling.
+
+Both sample through :func:`~repro.signals.waveform.sample_uniform` and
+apply the feedback subtraction in the same expression order, so row
+``i`` of a batch run is bit-identical to the serial run of
+``batch[i]``.
 """
 
 from __future__ import annotations
@@ -20,9 +33,35 @@ import numpy as np
 
 from ..analysis.isi import pulse_response
 from ..lti.blocks import Block
-from ..signals.waveform import Waveform
+from ..signals.batch import WaveformBatch
+from ..signals.waveform import Waveform, sample_uniform
 
-__all__ = ["DecisionFeedbackEqualizer", "dfe_taps_from_channel"]
+__all__ = ["DecisionFeedbackEqualizer", "dfe_taps_from_channel",
+           "inner_eye_height_from_corrected"]
+
+
+def inner_eye_height_from_corrected(corrected: np.ndarray,
+                                    skip_bits: int = 16):
+    """Worst-case vertical opening of DFE-corrected samples.
+
+    ``min(one samples) - max(zero samples)`` after dropping the first
+    ``skip_bits`` decisions (feedback-history fill).  1-D input returns
+    a float; 2-D ``(n_scenarios, n_bits)`` input returns a per-row
+    array.  Rows whose corrected samples are all one polarity report
+    ``-inf`` (no eye to measure).
+    """
+    corrected = np.asarray(corrected, dtype=float)
+    usable = corrected[..., skip_bits:]
+    if usable.shape[-1] == 0:
+        # Everything skipped: no samples to measure, hence no eye.
+        height = np.full(usable.shape[:-1], -np.inf)
+        return float(height) if corrected.ndim == 1 else height
+    ones_mask = usable > 0
+    ones_min = np.min(np.where(ones_mask, usable, np.inf), axis=-1)
+    zeros_max = np.max(np.where(ones_mask, -np.inf, usable), axis=-1)
+    valid = ones_mask.any(axis=-1) & (~ones_mask).any(axis=-1)
+    height = np.where(valid, ones_min - zeros_max, -np.inf)
+    return float(height) if corrected.ndim == 1 else height
 
 
 @dataclasses.dataclass
@@ -62,6 +101,21 @@ class DecisionFeedbackEqualizer:
             )
         self.taps = taps
 
+    def _n_bits(self, n_samples: int, ui_samples: float) -> int:
+        """Decidable bits: every UI whose sampling instant
+        ``(k + sample_phase_ui) * ui_samples`` lies on the sample grid.
+
+        ``int((n_samples - 1) / ui_samples)`` — the old formula —
+        silently dropped the final UI when the waveform ends exactly on
+        a bit boundary: its mid-UI sampling instant is on the grid even
+        though the boundary itself is one sample past it.
+        """
+        n_bits = int(np.floor((n_samples - 1) / ui_samples
+                              - self.sample_phase_ui)) + 1
+        if n_bits < len(self.taps) + 4:
+            raise ValueError("waveform too short for the tap count")
+        return n_bits
+
     def equalize(self, wave: Waveform) -> Tuple[np.ndarray, np.ndarray]:
         """Run the DFE over a waveform.
 
@@ -70,19 +124,17 @@ class DecisionFeedbackEqualizer:
         quantity whose histogram is the DFE's "inner eye").
         """
         ui_samples = wave.sample_rate / self.bit_rate
-        n_bits = int((len(wave) - 1) / ui_samples)
-        if n_bits < len(self.taps) + 4:
-            raise ValueError("waveform too short for the tap count")
+        n_bits = self._n_bits(len(wave), ui_samples)
         decisions = np.zeros(n_bits, dtype=np.int8)
         corrected = np.zeros(n_bits)
         history = np.zeros(len(self.taps))  # previous decided values (+-A)
+        data = wave.data
         for k in range(n_bits):
             index = (k + self.sample_phase_ui) * ui_samples
-            i0 = int(index)
-            frac = index - i0
-            raw = (1 - frac) * wave.data[i0] + frac * wave.data[
-                min(i0 + 1, len(wave) - 1)]
-            value = raw - float(np.dot(self.taps, history))
+            # The shared interpolation kernel clamps at the grid edge,
+            # guarding the last-sample instant against float round-up.
+            raw = float(sample_uniform(data, 0.0, 1.0, index))
+            value = raw - float(np.sum(self.taps * history))
             corrected[k] = value
             bit = 1 if value > 0 else 0
             decisions[k] = bit
@@ -92,16 +144,46 @@ class DecisionFeedbackEqualizer:
             history[0] = level
         return decisions, corrected
 
+    def equalize_batch(self, batch: WaveformBatch
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run N independent DFEs over a batch, one bit-step at a time.
+
+        Per-row decision history, vectorized interpolation sampling and
+        feedback subtraction; returns ``(decisions, corrected)`` of
+        shape ``(n_scenarios, n_bits)``.  Row ``i`` matches
+        ``equalize(batch[i])`` exactly — same sampling kernel, same
+        subtraction and update order.
+        """
+        ui_samples = batch.sample_rate / self.bit_rate
+        n_bits = self._n_bits(batch.n_samples, ui_samples)
+        n_rows = batch.n_scenarios
+        decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
+        corrected = np.zeros((n_rows, n_bits))
+        history = np.zeros((n_rows, len(self.taps)))
+        data = batch.data
+        for k in range(n_bits):
+            index = (k + self.sample_phase_ui) * ui_samples
+            raw = sample_uniform(data, 0.0, 1.0, index)
+            values = raw - np.sum(self.taps * history, axis=-1)
+            corrected[:, k] = values
+            bits = values > 0
+            decisions[:, k] = bits
+            history[:, 1:] = history[:, :-1]
+            history[:, 0] = np.where(bits, self.decision_amplitude,
+                                     -self.decision_amplitude)
+        return decisions, corrected
+
     def inner_eye_height(self, wave: Waveform,
                          skip_bits: int = 16) -> float:
         """Worst-case vertical opening of the corrected samples."""
         _, corrected = self.equalize(wave)
-        usable = corrected[skip_bits:]
-        ones = usable[usable > 0]
-        zeros = usable[usable <= 0]
-        if ones.size == 0 or zeros.size == 0:
-            return -float("inf")
-        return float(ones.min() - zeros.max())
+        return float(inner_eye_height_from_corrected(corrected, skip_bits))
+
+    def inner_eye_height_batch(self, batch: WaveformBatch,
+                               skip_bits: int = 16) -> np.ndarray:
+        """Per-row worst-case vertical opening, one batched pass."""
+        _, corrected = self.equalize_batch(batch)
+        return inner_eye_height_from_corrected(corrected, skip_bits)
 
 
 def dfe_taps_from_channel(channel: Block, bit_rate: float, n_taps: int = 2,

@@ -46,6 +46,7 @@ from .adaptation import (
     adapt_equalizer,
     adapt_peaking,
     eye_quality_metric,
+    eye_quality_metric_batch,
 )
 
 __all__ = [
@@ -84,4 +85,5 @@ __all__ = [
     "adapt_equalizer",
     "adapt_peaking",
     "eye_quality_metric",
+    "eye_quality_metric_batch",
 ]

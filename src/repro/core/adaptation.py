@@ -10,22 +10,47 @@ This module provides that loop as a library API: a generic scalar-knob
 optimizer (coarse grid + golden-section refinement, derivative-free —
 eye metrics are noisy and non-smooth) and ready-made adapters for the
 equalizer and the peaking circuit.
+
+Batched evaluation contract
+---------------------------
+Every candidate-evaluation layer has a serial and a batched form that
+are row-exact against each other:
+
+* :func:`eye_quality_metric_batch` scores a
+  :class:`~repro.signals.batch.WaveformBatch` in one vectorized pass —
+  entry ``i`` equals ``eye_quality_metric(batch[i], ...)`` exactly
+  (shared fold, vectorized phase search and crossing extraction);
+* :meth:`ScalarKnobSearch.maximize_batch` drives a batched objective
+  ``objective_batch(np.ndarray) -> np.ndarray``: the coarse grid is
+  evaluated through ONE call (all candidates at once), golden-section
+  refinement through length-1 calls.  Given
+  ``objective_batch(xs)[i] == objective(xs[i])`` it returns the
+  identical :class:`AdaptationResult` as :meth:`~ScalarKnobSearch.maximize`
+  — same candidate sequence, same history, same optimum;
+* :func:`adapt_equalizer` / :func:`adapt_peaking` build every grid
+  candidate's pipeline, stack the processed training waves into one
+  batch and score them in a single batched metric pass
+  (``batched=False`` falls back to the per-candidate reference loop).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, List, Tuple
+from typing import Callable, List, Sequence, Tuple
 
-from ..analysis.eye import EyeDiagram
+import numpy as np
+
+from ..analysis.eye import EyeDiagram, EyeDiagramBatch
 from ..channel.backplane import BackplaneChannel
+from ..signals.batch import WaveformBatch
 from ..signals.nrz import NrzEncoder
 from ..signals.prbs import prbs7
 from ..signals.waveform import Waveform
 
 __all__ = ["ScalarKnobSearch", "AdaptationResult", "adapt_equalizer",
-           "adapt_peaking", "eye_quality_metric"]
+           "adapt_peaking", "eye_quality_metric",
+           "eye_quality_metric_batch"]
 
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
 
@@ -48,6 +73,12 @@ class ScalarKnobSearch:
     Coarse grid to bracket the peak, then golden-section refinement
     inside the bracketing interval.  Deterministic and robust to the
     plateau/noise structure of eye metrics.
+
+    :meth:`maximize` evaluates a scalar objective candidate by
+    candidate; :meth:`maximize_batch` takes a vectorized objective and
+    evaluates the whole coarse grid in one call — both walk the same
+    candidate sequence and return identical results for consistent
+    objectives.
     """
 
     lo: float
@@ -65,16 +96,45 @@ class ScalarKnobSearch:
 
     def maximize(self, objective: Callable[[float], float]
                  ) -> AdaptationResult:
+        """Maximize a scalar objective (one candidate per call)."""
+        return self._search(
+            lambda xs: [float(objective(x)) for x in xs])
+
+    def maximize_batch(self, objective_batch:
+                       Callable[[np.ndarray], np.ndarray]
+                       ) -> AdaptationResult:
+        """Maximize a batched objective.
+
+        ``objective_batch`` receives a 1-D array of candidate settings
+        and must return one score per candidate; the coarse grid phase
+        passes all ``n_grid`` candidates in a single call (the batched
+        fast path), golden-section refinement passes length-1 arrays.
+        """
+        def evaluate_many(xs: List[float]) -> List[float]:
+            scores = np.asarray(
+                objective_batch(np.asarray(xs, dtype=float)), dtype=float)
+            if scores.shape != (len(xs),):
+                raise ValueError(
+                    f"objective_batch returned shape {scores.shape} for "
+                    f"{len(xs)} candidates"
+                )
+            return [float(score) for score in scores]
+
+        return self._search(evaluate_many)
+
+    def _search(self, evaluate_many:
+                Callable[[List[float]], List[float]]) -> AdaptationResult:
+        """The shared search: grid bracket, then golden-section."""
         history: List[Tuple[float, float]] = []
 
-        def evaluate(x: float) -> float:
-            score = objective(x)
-            history.append((x, score))
-            return score
+        def evaluate(xs: List[float]) -> List[float]:
+            scores = evaluate_many(xs)
+            history.extend(zip(xs, scores))
+            return scores
 
         step = (self.hi - self.lo) / (self.n_grid - 1)
         grid = [self.lo + i * step for i in range(self.n_grid)]
-        scores = [evaluate(x) for x in grid]
+        scores = evaluate(grid)
         best_index = max(range(len(grid)), key=lambda i: scores[i])
 
         # Bracket around the best grid point.
@@ -85,17 +145,17 @@ class ScalarKnobSearch:
         a, b = left, right
         c = b - _GOLDEN * (b - a)
         d = a + _GOLDEN * (b - a)
-        fc = evaluate(c)
-        fd = evaluate(d)
+        fc = evaluate([c])[0]
+        fd = evaluate([d])[0]
         for _ in range(self.n_refine):
             if fc >= fd:
                 b, d, fd = d, c, fc
                 c = b - _GOLDEN * (b - a)
-                fc = evaluate(c)
+                fc = evaluate([c])[0]
             else:
                 a, c, fc = c, d, fd
                 d = a + _GOLDEN * (b - a)
-                fd = evaluate(d)
+                fd = evaluate([d])[0]
 
         best_setting, best_score = max(history, key=lambda item: item[1])
         return AdaptationResult(best_setting=best_setting,
@@ -122,6 +182,31 @@ def eye_quality_metric(wave: Waveform, bit_rate: float,
     return measurement.eye_width_ui - 2.0 * eye.jitter_rms_ui()
 
 
+def eye_quality_metric_batch(batch: WaveformBatch, bit_rate: float,
+                             skip_ui: int = 16) -> np.ndarray:
+    """Per-row :func:`eye_quality_metric`, one vectorized pass.
+
+    Folds the whole batch once; the vertical phase search and the
+    crossing extraction run vectorized across all scenarios.  Entry
+    ``i`` equals ``eye_quality_metric(batch[i], bit_rate, skip_ui)``
+    exactly.
+    """
+    try:
+        eye = EyeDiagramBatch(batch, bit_rate, skip_ui=skip_ui)
+    except ValueError:
+        # The batch cannot be folded as one (non-integer samples/UI —
+        # which the serial path resamples through — or too short): fall
+        # back to the per-row metric, which keeps the row-exactness
+        # contract and still returns -10 where a row is unmeasurable.
+        return np.array([eye_quality_metric(row, bit_rate, skip_ui)
+                         for row in batch.rows()])
+    heights = eye.eye_heights().max(axis=1)
+    width = eye.eye_width_ui()
+    metric = width - 2.0 * eye.jitter_rms_ui()
+    is_open = (heights > 0) & (width > 0)
+    return np.where(is_open, metric, -1.0)
+
+
 def _training_wave(bit_rate: float, amplitude: float,
                    samples_per_bit: int, n_bits: int) -> Waveform:
     encoder = NrzEncoder(bit_rate=bit_rate, samples_per_bit=samples_per_bit,
@@ -132,11 +217,16 @@ def _training_wave(bit_rate: float, amplitude: float,
 def adapt_equalizer(channel: BackplaneChannel, bit_rate: float = 10e9,
                     amplitude: float = 0.2, samples_per_bit: int = 16,
                     n_bits: int = 260,
-                    n_refine: int = 6) -> AdaptationResult:
+                    n_refine: int = 6,
+                    batched: bool = True) -> AdaptationResult:
     """Adapt the equalizer's V1 against a channel.
 
     Builds the paper's input interface at each candidate V1 and scores
-    the received eye; returns the optimum and the search history.
+    the received eye; returns the optimum and the search history.  With
+    ``batched=True`` (the default) every coarse-grid candidate's
+    received wave is scored in one :func:`eye_quality_metric_batch`
+    pass; ``batched=False`` is the per-candidate reference loop, and
+    the two return identical results.
     """
     from .interface import build_input_interface
 
@@ -148,27 +238,46 @@ def adapt_equalizer(channel: BackplaneChannel, bit_rate: float = 10e9,
     # Stay inside the triode device's useful band.
     v1_hi = min(v1_hi, 1.2)
 
-    def objective(v1: float) -> float:
+    def process(v1: float) -> Waveform:
         rx = build_input_interface(equalizer_control_voltage=v1)
-        return eye_quality_metric(rx.process(received), bit_rate)
+        return rx.process(received)
+
+    def objective(v1: float) -> float:
+        return eye_quality_metric(process(v1), bit_rate)
+
+    def objective_batch(v1s: np.ndarray) -> np.ndarray:
+        outs = WaveformBatch.stack([process(float(v1)) for v1 in v1s])
+        return eye_quality_metric_batch(outs, bit_rate)
 
     search = ScalarKnobSearch(lo=v1_lo, hi=v1_hi, n_grid=6,
                               n_refine=n_refine)
+    if batched:
+        return search.maximize_batch(objective_batch)
     return search.maximize(objective)
 
 
 def adapt_peaking(channel: BackplaneChannel, bit_rate: float = 10e9,
                   amplitude: float = 0.3, samples_per_bit: int = 16,
                   n_bits: int = 260,
-                  n_refine: int = 6) -> AdaptationResult:
-    """Adapt the peaking spike height (differentiator tail current)."""
+                  n_refine: int = 6,
+                  batched: bool = True) -> AdaptationResult:
+    """Adapt the peaking spike height (differentiator tail current).
+
+    Same batched-evaluation contract as :func:`adapt_equalizer`: the
+    coarse grid's candidate waveforms are scored in one batched pass
+    (eye metric plus the post-channel vertical-opening bonus), and
+    ``batched=False`` reproduces it candidate by candidate.
+    """
     from .interface import build_output_interface
 
     wave = _training_wave(bit_rate, amplitude, samples_per_bit, n_bits)
 
-    def objective(spike_current: float) -> float:
+    def process(spike_current: float) -> Waveform:
         tx = build_output_interface(spike_current=spike_current)
-        received = channel.process(tx.process(wave))
+        return channel.process(tx.process(wave))
+
+    def objective(spike_current: float) -> float:
+        received = process(spike_current)
         metric = eye_quality_metric(received, bit_rate)
         # Post-channel vertical opening matters for peaking; fold it in.
         try:
@@ -179,6 +288,20 @@ def adapt_peaking(channel: BackplaneChannel, bit_rate: float = 10e9,
             pass
         return metric
 
+    def objective_batch(currents: np.ndarray) -> np.ndarray:
+        outs = WaveformBatch.stack(
+            [process(float(current)) for current in currents])
+        metric = eye_quality_metric_batch(outs, bit_rate)
+        try:
+            eye = EyeDiagramBatch(outs, bit_rate, skip_ui=16)
+            metric = metric + 2.0 * np.maximum(
+                0.0, eye.eye_heights().max(axis=1))
+        except ValueError:
+            pass
+        return metric
+
     search = ScalarKnobSearch(lo=0.2e-3, hi=4e-3, n_grid=5,
                               n_refine=n_refine)
+    if batched:
+        return search.maximize_batch(objective_batch)
     return search.maximize(objective)

@@ -26,7 +26,8 @@ rebuilds pipelines only along structural axes.
 """
 
 from .grid import ScenarioGrid, SweepAxis
-from .runner import SweepResult, SweepRunner, closed_loop_cdr_measure
+from .runner import SweepResult, SweepRunner, closed_loop_cdr_measure, \
+    dfe_measure
 
 __all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult",
-           "closed_loop_cdr_measure"]
+           "closed_loop_cdr_measure", "dfe_measure"]

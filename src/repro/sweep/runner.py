@@ -26,7 +26,8 @@ from ..signals.batch import WaveformBatch
 from ..signals.waveform import Waveform
 from .grid import ScenarioGrid
 
-__all__ = ["SweepRunner", "SweepResult", "closed_loop_cdr_measure"]
+__all__ = ["SweepRunner", "SweepResult", "closed_loop_cdr_measure",
+           "dfe_measure"]
 
 
 def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
@@ -66,6 +67,48 @@ def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
             return [reduce(row, params)
                     for row, params in zip(rows, params_list)]
         return rows
+
+    return measure, measure_batch
+
+
+def dfe_measure(dfe, skip_bits: int = 16,
+                reduce: Optional[Callable[[Any, Dict], Any]] = None):
+    """Build a ``(measure, measure_batch)`` pair running a
+    :class:`~repro.baselines.dfe.DecisionFeedbackEqualizer` over every
+    scenario.
+
+    The batched half advances all of a structural point's scenarios
+    through :meth:`~repro.baselines.dfe.DecisionFeedbackEqualizer.equalize_batch`
+    in one pass; the serial half (used by
+    :meth:`SweepRunner.run_serial`) equalizes each row on its own, and
+    the two are row-exact by construction.
+
+    ``reduce((decisions, corrected), params)`` maps each scenario's DFE
+    output to the value recorded in the :class:`SweepResult`; the
+    default records the inner-eye height (worst-case vertical opening
+    of the corrected samples after ``skip_bits``).  Pass both returned
+    callables to the runner::
+
+        measure, measure_batch = dfe_measure(dfe)
+        runner = SweepRunner(grid, stimulus=make_wave,
+                             measure=measure, measure_batch=measure_batch)
+    """
+    from ..baselines.dfe import inner_eye_height_from_corrected
+
+    def measure(wave: Waveform, params: Dict) -> Any:
+        decisions, corrected = dfe.equalize(wave)
+        if reduce is not None:
+            return reduce((decisions, corrected), params)
+        return float(inner_eye_height_from_corrected(corrected, skip_bits))
+
+    def measure_batch(batch: WaveformBatch,
+                      params_list: List[Dict]) -> List[Any]:
+        decisions, corrected = dfe.equalize_batch(batch)
+        if reduce is not None:
+            return [reduce((decisions[i], corrected[i]), params)
+                    for i, params in enumerate(params_list)]
+        heights = inner_eye_height_from_corrected(corrected, skip_bits)
+        return [float(height) for height in heights]
 
     return measure, measure_batch
 

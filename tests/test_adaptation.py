@@ -88,3 +88,84 @@ def test_peaking_adaptation_finds_nonzero_spike():
     result = adapt_peaking(BackplaneChannel(0.5), n_refine=3)
     assert 0.2e-3 <= result.best_setting <= 4e-3
     assert result.best_setting > 0.4e-3  # lossy channel wants peaking
+
+
+# -- batched evaluation ------------------------------------------------------
+
+def test_maximize_batch_matches_maximize_exactly():
+    import numpy as np
+
+    search = ScalarKnobSearch(lo=0.0, hi=10.0, n_grid=7, n_refine=8)
+    objective = lambda x: math.sin(x) - 0.1 * (x - 4.0) ** 2
+    serial = search.maximize(objective)
+    batched = search.maximize_batch(
+        lambda xs: np.array([objective(float(x)) for x in xs]))
+    assert batched == serial  # same candidates, history and optimum
+
+
+def test_maximize_batch_grid_goes_through_one_call():
+    import numpy as np
+
+    calls = []
+
+    def objective_batch(xs):
+        calls.append(len(xs))
+        return -np.abs(xs - 0.4)
+
+    search = ScalarKnobSearch(lo=0.0, hi=1.0, n_grid=5, n_refine=3)
+    result = search.maximize_batch(objective_batch)
+    assert calls[0] == 5              # the whole coarse grid at once
+    assert all(n == 1 for n in calls[1:])  # golden-section refinements
+    assert result.evaluations == 5 + 2 + 3
+
+
+def test_maximize_batch_rejects_wrong_shape():
+    import numpy as np
+    import pytest
+
+    search = ScalarKnobSearch(lo=0.0, hi=1.0)
+    with pytest.raises(ValueError):
+        search.maximize_batch(lambda xs: np.zeros(len(xs) + 1))
+
+
+def test_eye_quality_metric_batch_is_exported():
+    from repro.core import eye_quality_metric_batch
+    from repro.signals import WaveformBatch
+
+    clean = bits_to_nrz(prbs7(120), BIT_RATE, amplitude=0.3,
+                        samples_per_bit=16)
+    batch = WaveformBatch.stack([clean, BackplaneChannel(0.6).process(clean)])
+    metrics = eye_quality_metric_batch(batch, BIT_RATE)
+    assert metrics[0] == eye_quality_metric(clean, BIT_RATE)
+    assert metrics[0] > metrics[1]
+
+
+def test_adapt_equalizer_batched_matches_serial():
+    channel = BackplaneChannel(0.4)
+    batched = adapt_equalizer(channel, n_refine=2, batched=True)
+    serial = adapt_equalizer(channel, n_refine=2, batched=False)
+    assert batched == serial
+
+
+def test_adapt_peaking_batched_matches_serial():
+    channel = BackplaneChannel(0.5)
+    batched = adapt_peaking(channel, n_refine=2, batched=True)
+    serial = adapt_peaking(channel, n_refine=2, batched=False)
+    assert batched == serial
+
+
+def test_metric_batch_falls_back_on_non_integer_samples_per_ui():
+    # The serial metric resamples non-integer samples/UI; the batched
+    # fold cannot, so it must fall back per row instead of reporting
+    # every row unmeasurable.
+    import numpy as np
+    from repro.core import eye_quality_metric_batch
+    from repro.signals import WaveformBatch
+
+    wave = bits_to_nrz(prbs7(120), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16).resampled(15.5 * BIT_RATE)
+    batch = WaveformBatch.stack([wave, wave * 0.5])
+    metrics = eye_quality_metric_batch(batch, BIT_RATE)
+    for i, row in enumerate(batch.rows()):
+        assert metrics[i] == eye_quality_metric(row, BIT_RATE)
+    assert np.all(metrics > 0)  # a clean eye, not the -10 sentinel

@@ -339,3 +339,147 @@ def test_batch_sample_at_rejects_mismatched_instant_rows():
         batch.sample_at(np.zeros(3))
     with pytest.raises(ValueError):
         batch.sample_at(np.zeros((5, 2)))
+
+
+# -- batched DFE --------------------------------------------------------------
+
+@given(n_taps=st.integers(min_value=1, max_value=4),
+       ui_samples=st.sampled_from((8.0, 10.25, 12.5, 16.0)),
+       extra_samples=st.integers(min_value=0, max_value=13),
+       n_rows=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_dfe_equalize_batch_property_row_exact(n_taps, ui_samples,
+                                               extra_samples, n_rows, seed):
+    """equalize_batch is row-exact against equalize across tap counts,
+    non-integer samples-per-UI and mixed scenario lengths."""
+    from repro.baselines import DecisionFeedbackEqualizer
+
+    rng = np.random.default_rng(seed)
+    sample_rate = ui_samples * BIT_RATE
+    n_samples = int(20 * ui_samples) + extra_samples
+    batch = WaveformBatch(rng.standard_normal((n_rows, n_samples)),
+                          sample_rate)
+    dfe = DecisionFeedbackEqualizer(
+        taps=0.1 * rng.standard_normal(n_taps) + 0.05,
+        bit_rate=BIT_RATE,
+        sample_phase_ui=float(rng.uniform(0.2, 0.8)),
+    )
+    decisions, corrected = dfe.equalize_batch(batch)
+    heights = dfe.inner_eye_height_batch(batch, skip_bits=4)
+    for i, row in enumerate(batch.rows()):
+        ref_decisions, ref_corrected = dfe.equalize(row)
+        np.testing.assert_array_equal(decisions[i], ref_decisions)
+        np.testing.assert_array_equal(corrected[i], ref_corrected)
+        assert heights[i] == dfe.inner_eye_height(row, skip_bits=4)
+
+
+def test_dfe_measure_pair_rows_match():
+    from repro.baselines import DecisionFeedbackEqualizer
+    from repro.sweep import dfe_measure
+
+    dfe = DecisionFeedbackEqualizer(taps=[0.04, 0.01], bit_rate=BIT_RATE)
+    base = bits_to_nrz(prbs7(60), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=16)
+    batch = WaveformBatch.stack([add_awgn(base, 5e-3, seed=s)
+                                 for s in range(3)])
+    measure, measure_batch = dfe_measure(dfe)
+    params = [{"seed": s} for s in range(3)]
+    batched = measure_batch(batch, params)
+    assert batched == [measure(row, p)
+                       for row, p in zip(batch.rows(), params)]
+
+    reducer = lambda result, p: int(result[0].sum())
+    measure, measure_batch = dfe_measure(dfe, reduce=reducer)
+    batched = measure_batch(batch, params)
+    assert batched == [measure(row, p)
+                       for row, p in zip(batch.rows(), params)]
+
+
+# -- batched crossing extraction and adaptation metric ------------------------
+
+def noisy_eye_batch(n_rows=5, rms=8e-3):
+    base = bits_to_nrz(prbs7(80), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    return WaveformBatch.stack([add_awgn(base, rms, seed=s)
+                                for s in range(n_rows)])
+
+
+def test_batch_crossing_extraction_rows_match_serial():
+    from repro.analysis import EyeDiagramBatch
+
+    batch = noisy_eye_batch()
+    batched = EyeDiagramBatch(batch, BIT_RATE)
+    per_row = batched.crossing_times_ui()
+    rms = batched.jitter_rms_ui()
+    pp = batched.jitter_pp_ui()
+    width = batched.eye_width_ui()
+    for i, row in enumerate(batch.rows()):
+        serial = EyeDiagram(row, BIT_RATE)
+        np.testing.assert_array_equal(per_row[i],
+                                      serial.crossing_times_ui())
+        assert rms[i] == serial.jitter_rms_ui()
+        assert pp[i] == serial.jitter_pp_ui()
+        assert width[i] == serial.eye_width_ui()
+
+
+def test_batch_crossing_extraction_handles_crossing_free_rows():
+    from repro.analysis import EyeDiagramBatch
+
+    base = bits_to_nrz(prbs7(40), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    flat = Waveform(np.full(len(base), 0.1), base.sample_rate)
+    batch = WaveformBatch.stack([base, flat])
+    per_row = EyeDiagramBatch(batch, BIT_RATE).crossing_times_ui()
+    assert per_row[0].size > 0
+    assert per_row[1].size == 0
+    assert EyeDiagramBatch(batch, BIT_RATE).jitter_pp_ui()[1] == 0.0
+
+
+def test_eye_quality_metric_batch_rows_match_serial():
+    from repro.channel import BackplaneChannel
+    from repro.core import eye_quality_metric, eye_quality_metric_batch
+
+    base = bits_to_nrz(prbs7(120), BIT_RATE, amplitude=0.3,
+                       samples_per_bit=16)
+    rows = [
+        base,                                        # clean, open
+        BackplaneChannel(0.6).process(base),         # degraded
+        Waveform(np.zeros(len(base)), base.sample_rate),  # unmeasurable
+        add_awgn(base, 0.02, seed=7),                # noisy
+    ]
+    batch = WaveformBatch.stack(rows)
+    metrics = eye_quality_metric_batch(batch, BIT_RATE)
+    assert metrics.shape == (4,)
+    for i, row in enumerate(rows):
+        assert metrics[i] == eye_quality_metric(row, BIT_RATE)
+
+
+def test_decompose_jitter_batch_rows_match_serial():
+    from repro.analysis import decompose_jitter, decompose_jitter_batch
+
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=0.4)
+    bits = prbs7(120)
+    jitter = RandomJitter(rms_seconds=2e-12)
+    offsets = jitter.offsets_batch(len(bits), BIT_RATE, seeds=[3, 4, 5])
+    batch = encoder.encode_batch(bits, offsets)
+    batched = decompose_jitter_batch(batch, BIT_RATE)
+    for row, decomposition in zip(batch.rows(), batched):
+        assert decomposition == decompose_jitter(row, BIT_RATE)
+
+
+def test_decompose_jitter_batch_falls_back_on_non_integer_rate():
+    from repro.analysis import decompose_jitter, decompose_jitter_batch
+
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=0.4)
+    bits = prbs7(120)
+    jitter = RandomJitter(rms_seconds=2e-12)
+    offsets = jitter.offsets_batch(len(bits), BIT_RATE, seeds=[3, 4])
+    rows = [encoder.encode(bits, offs).resampled(15.5 * BIT_RATE)
+            for offs in offsets]
+    batch = WaveformBatch.stack(rows)
+    batched = decompose_jitter_batch(batch, BIT_RATE)
+    for row, decomposition in zip(batch.rows(), batched):
+        assert decomposition == decompose_jitter(row, BIT_RATE)

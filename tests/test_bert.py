@@ -87,3 +87,42 @@ def test_bert_through_receiver_and_cdr():
     settled = recovered.decisions[max(0, recovered.locked_at_bit):]
     result = check_prbs(settled)
     assert result.error_free
+
+def test_single_error_at_every_position_estimates_one():
+    """Regression: an error in the first/last ``order`` bits feeds
+    fewer than 3 mismatches, so the raw/3 estimate under-counted at the
+    stream edges.  The clustered estimate is exact everywhere."""
+    clean = prbs7(200)
+    for position in range(len(clean)):
+        bits = clean.copy()
+        bits[position] ^= 1
+        result = check_prbs(bits)
+        assert result.estimated_true_errors == 1.0, (
+            f"position {position}: {result.raw_mismatches} mismatches -> "
+            f"{result.estimated_true_errors}"
+        )
+
+
+def test_single_error_every_position_higher_order():
+    clean = prbs_sequence(9, 120)
+    for position in range(len(clean)):
+        bits = clean.copy()
+        bits[position] ^= 1
+        result = check_prbs(bits, order=9)
+        assert result.estimated_true_errors == 1.0, position
+
+
+def test_tail_error_ber_not_underestimated():
+    bits = prbs7(500)
+    bits[499] ^= 1  # only ONE mismatch reaches the checker
+    result = check_prbs(bits)
+    assert result.raw_mismatches == 1
+    assert result.estimated_true_errors == 1.0
+    assert result.ber == pytest.approx(1.0 / result.bits_checked)
+
+
+def test_raw_count_fallback_without_error_events():
+    from repro.analysis import BertResult
+
+    legacy = BertResult(bits_checked=100, raw_mismatches=6)
+    assert legacy.estimated_true_errors == pytest.approx(2.0)

@@ -119,3 +119,54 @@ def test_sampling_phase_near_center():
 def test_eye_opening_fraction():
     m = EyeDiagram.measure_waveform(clean_wave(), 10e9)
     assert 0.85 < m.eye_opening_fraction <= 1.0
+
+
+# -- crossing clusters straddling the 0/1 UI seam ---------------------------
+
+def straddling_wave(wander_ui=0.03, n_bits=64, spb=16):
+    """Alternating bits whose edges sit AT the bit boundary, wandering
+    +-wander_ui around it: the folded crossing cluster straddles 0/1."""
+    encoder = NrzEncoder(bit_rate=10e9, samples_per_bit=spb, amplitude=1.0)
+    bits = np.arange(n_bits) % 2
+    offsets = np.where(np.arange(n_bits) % 2 == 0, 1.0, -1.0) \
+        * wander_ui * 1e-10
+    return encoder.encode(bits, edge_offsets=offsets)
+
+
+def test_straddling_crossing_cluster_is_recentered():
+    """Regression: a crossing cluster straddling the 0/1 UI boundary
+    whose raw median lands mid-range used to defeat the linear
+    re-centering — jitter_pp_ui reported ~1 UI and the eye width
+    collapsed to 0 for a clean eye."""
+    eye = EyeDiagram(straddling_wave(), 10e9)
+    times = eye.crossing_times_ui()
+    # Two clusters at ~0.97 and ~0.03 UI fold into one tight cluster.
+    assert times.size > 16
+    assert np.ptp(times) < 0.2
+    assert eye.jitter_pp_ui() < 0.2
+    assert eye.eye_width_ui() > 0.8
+    # The reported positions still sit on the UI circle near the seam.
+    assert np.all(np.abs(np.mod(times + 0.5, 1.0) - 0.5) < 0.1)
+
+
+def test_straddling_cluster_jitter_matches_injected_wander():
+    eye = EyeDiagram(straddling_wave(wander_ui=0.02), 10e9)
+    # Deterministic +-0.02 UI wander: peak-to-peak spread ~0.04 UI.
+    assert eye.jitter_pp_ui() == pytest.approx(0.04, abs=0.02)
+
+
+def test_centered_cluster_is_untouched_by_circular_centering():
+    """Mid-range clusters (edges away from the seam) keep their raw
+    modulo-1 positions — the fix only affects wrapped clusters."""
+    wave = clean_wave()
+    eye = EyeDiagram(wave, 10e9)
+    times = eye.crossing_times_ui()
+    raw = None
+    flat = eye.traces.reshape(-1)
+    sign = np.sign(flat)
+    sign[sign == 0] = 1
+    idx = np.flatnonzero(np.diff(sign) != 0)
+    v0, v1 = flat[idx], flat[idx + 1]
+    raw = np.mod((idx + v0 / (v0 - v1)) / eye.samples_per_ui, 1.0)
+    if np.ptp(raw) < 0.5:  # genuinely unwrapped cluster
+        np.testing.assert_array_equal(times, raw)

@@ -265,3 +265,52 @@ def test_closed_loop_cdr_measure_reduce_and_n_bits():
         assert amplitude == params["amplitude"]
         assert n_decisions == 160
         assert locked
+
+
+# -- DFE measure path ---------------------------------------------------------
+
+def test_dfe_measure_sweep_batched_matches_serial():
+    from repro.baselines import DecisionFeedbackEqualizer
+    from repro.channel import BackplaneChannel
+    from repro.signals import add_awgn
+    from repro.sweep import dfe_measure
+
+    channel = BackplaneChannel(0.4)
+    base = bits_to_nrz(prbs7(80), BIT_RATE, amplitude=1.0,
+                       samples_per_bit=16)
+
+    def stimulus(params):
+        return add_awgn(base * params["amplitude"], 5e-3,
+                        seed=params["seed"])
+
+    grid = ScenarioGrid([
+        SweepAxis("amplitude", (0.8, 1.0)),
+        SweepAxis("seed", tuple(range(1, 5))),
+    ])
+    dfe = DecisionFeedbackEqualizer(taps=[0.05, 0.01], bit_rate=BIT_RATE)
+    measure, measure_batch = dfe_measure(dfe)
+    runner = SweepRunner(grid, stimulus=stimulus, build=lambda p: channel,
+                         measure=measure, measure_batch=measure_batch)
+
+    batched = runner.run()
+    serial = runner.run_serial()
+    assert batched.results == serial.results
+    assert all(isinstance(height, float) for height in batched.results)
+
+
+def test_dfe_measure_reduce_hook():
+    from repro.baselines import DecisionFeedbackEqualizer
+    from repro.sweep import dfe_measure
+
+    base = bits_to_nrz(prbs7(60), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=16)
+    grid = ScenarioGrid([SweepAxis("scale", (0.5, 1.0, 1.5))])
+    dfe = DecisionFeedbackEqualizer(taps=[0.03], bit_rate=BIT_RATE)
+    measure, measure_batch = dfe_measure(
+        dfe, reduce=lambda result, params: int(result[0].sum()))
+    runner = SweepRunner(grid,
+                         stimulus=lambda p: base * p["scale"],
+                         measure=measure, measure_batch=measure_batch)
+    batched = runner.run()
+    assert batched.results == runner.run_serial().results
+    assert all(isinstance(value, int) for value in batched.results)
