@@ -5,8 +5,8 @@ contract for the last serial layers.  A ≥500-scenario study — one
 jittered PRBS pattern per scenario, each with its own noise draw — is
 recovered twice:
 
-* **batched**: :meth:`~repro.cdr.BangBangCdr.recover_batch` advances
-  all N bang-bang loops together, one bit-step at a time, with
+* **batched**: the CDR stage dispatch (``repro.link.stage(cdr)``)
+  advances all N bang-bang loops together, one bit-step at a time, with
   vectorized interpolation sampling, vectorized Alexander votes and
   per-row phase/integral/slip state;
 * **serial**: :meth:`~repro.cdr.BangBangCdr.recover` per scenario — the
@@ -17,7 +17,7 @@ row's decisions, phase track, votes, lock index and slip count match
 the serial run exactly.
 
 A second section exercises the framed link end to end:
-:func:`~repro.serdes.run_link_batch` serializes a payload once, fans it
+:func:`~repro.link.run_framed_link` serializes a payload once, fans it
 out over per-scenario noise, recovers all scenarios with one batched
 CDR pass and decodes each stream — producing a frame-error-rate /
 lock-yield table per noise level.
@@ -42,7 +42,8 @@ from repro.signals import (
     add_awgn,
     prbs7,
 )
-from repro.serdes import run_link, run_link_batch
+from repro.link import run_framed_link, stage
+from repro.serdes import run_link
 from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner, \
     closed_loop_cdr_measure
 
@@ -71,12 +72,14 @@ def test_batched_cdr_speedup_and_row_exactness(save_report):
     batch = make_batch(N_SCENARIOS)
     cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
 
+    link_cdr = stage(cdr)
+
     # Warm both paths on a slice so first-call overheads cancel.
-    cdr.recover_batch(batch[:2])
+    link_cdr.recover(batch[:2])
     cdr.recover(batch[0])
 
     t0 = time.perf_counter()
-    batched = cdr.recover_batch(batch)
+    batched = link_cdr.recover(batch)
     t_batched = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -125,9 +128,9 @@ def test_framed_link_noise_sweep(benchmark, save_report):
         rows = []
         for rms in noise_levels:
             seeds = range(1, n_per_level + 1)
-            report = run_link_batch(
+            report = run_framed_link(
                 payload,
-                analog_path=lambda w, rms=rms, seeds=seeds:
+                path=lambda w, rms=rms, seeds=seeds:
                     WaveformBatch.with_noise_seeds(w, rms, list(seeds)),
                 training_commas=24,
                 training_bytes=4,
@@ -150,15 +153,15 @@ def test_framed_link_noise_sweep(benchmark, save_report):
 
 
 def test_framed_link_batch_matches_serial_run_link(benchmark, save_report):
-    """run_link_batch rows reproduce run_link scenario by scenario."""
+    """run_framed_link rows reproduce run_link scenario by scenario."""
     payload = b"batched-framed-link!"
     rms = 0.01
     seeds = list(range(1, 7))
 
     def compare():
-        batch_report = run_link_batch(
+        batch_report = run_framed_link(
             payload,
-            analog_path=lambda w: WaveformBatch.with_noise_seeds(
+            path=lambda w: WaveformBatch.with_noise_seeds(
                 w, rms, seeds),
             training_commas=24, training_bytes=4,
         )

@@ -6,7 +6,7 @@ knob adaptation.  A ≥500-scenario yield study (one channel-filtered
 PRBS waveform per scenario, each with its own noise draw) is equalized
 twice:
 
-* **batched**: :meth:`~repro.baselines.DecisionFeedbackEqualizer.equalize_batch`
+* **batched**: the DFE stage dispatch (``repro.link.stage(dfe)``)
   advances all N decision-feedback loops together, one bit-step at a
   time, with vectorized interpolation sampling and per-row decision
   history;
@@ -38,6 +38,7 @@ from conftest import run_once
 from repro.baselines import DecisionFeedbackEqualizer, dfe_taps_from_channel
 from repro.channel import BackplaneChannel
 from repro.core import adapt_equalizer, adapt_peaking
+from repro.link import stage
 from repro.reporting import format_table
 from repro.signals import WaveformBatch, bits_to_nrz, prbs7
 from repro.sweep import ScenarioGrid, SweepAxis, SweepRunner, dfe_measure
@@ -71,12 +72,14 @@ def test_batched_dfe_speedup_and_row_exactness(save_report):
     batch = make_batch(N_SCENARIOS)
     dfe = make_dfe()
 
+    link_dfe = stage(dfe)
+
     # Warm both paths on a slice so first-call overheads cancel.
-    dfe.equalize_batch(batch[:2])
+    link_dfe.equalize(batch[:2])
     dfe.equalize(batch[0])
 
     t0 = time.perf_counter()
-    decisions, corrected = dfe.equalize_batch(batch)
+    decisions, corrected = link_dfe.equalize(batch)
     t_batched = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -84,7 +87,7 @@ def test_batched_dfe_speedup_and_row_exactness(save_report):
     t_serial = time.perf_counter() - t0
 
     speedup = t_serial / t_batched
-    heights = dfe.inner_eye_height_batch(batch)
+    heights = link_dfe.inner_eye_height(batch)
     save_report("dfe_adaptation_engine_speedup", format_table([{
         "scenarios": N_SCENARIOS,
         "bits/scenario": N_BITS,
@@ -112,7 +115,8 @@ def test_batched_dfe_speedup_and_row_exactness(save_report):
 
 
 def test_dfe_yield_sweep_batched_matches_serial(benchmark, save_report):
-    """The sweep subsystem driving equalize_batch: inner-eye yield grid."""
+    """The sweep subsystem driving the batched DFE kernel: inner-eye
+    yield grid."""
     n_seeds = max(4, N_SCENARIOS // 25)
     received = _CHANNEL.process(
         bits_to_nrz(prbs7(N_BITS), BIT_RATE, amplitude=1.0,

@@ -11,8 +11,8 @@ The sweep subsystem executes the template as a declarative grid:
 stimulus variation on the same receiver — so the runner stacks all
 jittered patterns into one :class:`~repro.signals.WaveformBatch` and
 :func:`~repro.sweep.closed_loop_cdr_measure` advances every point's CDR
-loop together through ``recover_batch``: nothing in the sweep is serial
-any more.  The tolerance at each frequency is the largest amplitude on
+loop together through the batched CDR kernel (the path ``repro.link``
+dispatches): nothing in the sweep is serial any more.  The tolerance at each frequency is the largest amplitude on
 the grid with an error-free run (amplitudes above the first failure do
 not count, mirroring the bisection this replaces).
 """

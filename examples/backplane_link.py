@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Switch-fabric backplane reach study (the paper's Fig 1 scenario).
 
-How long a backplane trace can the interface drive at 10 Gb/s?  Sweeps
-trace length, measures the received eye for four link configurations —
-with/without the transmit voltage peaking and the receive equalizer —
-and reports the maximum reach of each.  This is the system-level "why"
-of the paper: the signal-conditioning circuits buy backplane
+How long a backplane trace can the interface drive at 10 Gb/s?  The
+whole study — trace length x transmit peaking x receive equalizer —
+is ONE declarative grid executed by ``LinkSession.sweep``: every axis
+is structural (each point rebuilds the chain from the session's
+configs), and the facade measures every received eye through the same
+batched path the rest of the library uses.  This is the system-level
+"why" of the paper: the signal-conditioning circuits buy backplane
 centimetres.
 
 Run:  python examples/backplane_link.py
@@ -13,10 +15,11 @@ Run:  python examples/backplane_link.py
 
 from repro import (
     BackplaneChannel,
-    EyeDiagram,
+    LinkSession,
+    RxConfig,
+    ScenarioGrid,
+    SweepAxis,
     bits_to_nrz,
-    build_input_interface,
-    build_output_interface,
     prbs7,
 )
 from repro.analysis.sensitivity import eye_is_good
@@ -26,21 +29,22 @@ BIT_RATE = 10e9
 LENGTHS_M = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2)
 
 
-def run_link(length_m, peaking, equalizer):
-    tx = build_output_interface(peaking_enabled=peaking)
-    rx = build_input_interface(equalizer_control_voltage=0.55)
-    if not equalizer:
-        rx = rx.without_equalizer()
-    channel = BackplaneChannel(length_m)
+def main() -> None:
+    session = LinkSession.from_configs(
+        rx=RxConfig(equalizer_control_voltage=0.55), skip_ui=20)
+    swing = session.receiver.output_swing
+
+    grid = ScenarioGrid([
+        SweepAxis("length_m", LENGTHS_M, structural=True),
+        SweepAxis("peaking_enabled", (False, True), structural=True),
+        SweepAxis("equalizer_enabled", (False, True), structural=True),
+    ])
     wave = bits_to_nrz(prbs7(300), BIT_RATE, amplitude=0.25,
                        samples_per_bit=16)
-    received = rx.process(channel.process(tx.process(wave)))
-    measurement = EyeDiagram.measure_waveform(received, BIT_RATE,
-                                              skip_ui=20)
-    return measurement, rx.output_swing
+    sweep = session.sweep(grid, stimulus=lambda p: wave)
+    measurements = sweep.values(lambda r: r.eye.eye_width_ui)  # shape check
+    assert measurements.shape == grid.shape
 
-
-def main() -> None:
     configs = {
         "raw (no peaking, no eq)": (False, False),
         "peaking only": (True, False),
@@ -49,11 +53,14 @@ def main() -> None:
     }
     rows = []
     reach = {}
-    for length in LENGTHS_M:
+    for li, length in enumerate(LENGTHS_M):
         loss = BackplaneChannel(length).nyquist_loss_db(BIT_RATE)
         row = {"length (m)": length, "loss@5GHz (dB)": round(loss, 1)}
         for name, (peaking, equalizer) in configs.items():
-            measurement, swing = run_link(length, peaking, equalizer)
+            index = grid.flat_index({"length_m": length,
+                                     "peaking_enabled": peaking,
+                                     "equalizer_enabled": equalizer})
+            measurement = sweep.results[index].eye
             good = eye_is_good(measurement, swing, opening_fraction=0.5,
                                min_width_ui=0.70)
             row[name] = (f"{measurement.eye_width_ui:.2f} UI"

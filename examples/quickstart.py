@@ -1,42 +1,48 @@
 #!/usr/bin/env python
-"""Quickstart: run the paper's 10 Gb/s CML I/O interface end to end.
+"""Quickstart: the paper's 10 Gb/s CML I/O interface through the
+batch-first ``LinkSession`` facade.
 
-Builds the calibrated design point (Table I), transmits a 2^7-1 PRBS at
-10 Gb/s through the output interface, a 0.3 m FR-4 backplane and the
-input interface, and prints the received eye with the headline metrics.
+Builds the calibrated design point (Table I) as a session, transmits a
+2^7-1 PRBS at 10 Gb/s through the output interface, a 0.3 m FR-4
+backplane and the input interface, prints the received eye with the
+headline metrics — then runs a noise-seed x trace-length yield study
+as one ``LinkSession.sweep`` call instead of a serial scenario loop.
 
 Run:  python examples/quickstart.py
 """
 
+import numpy as np
+
 from repro import (
-    BackplaneChannel,
+    ChannelConfig,
     EyeDiagram,
+    LinkSession,
+    ScenarioGrid,
+    SweepAxis,
     bits_to_nrz,
-    build_io_interface,
     prbs7,
 )
 from repro.analysis import q_to_ber
 from repro.reporting import render_eye
+from repro.signals import add_awgn
 
 BIT_RATE = 10e9
 
 
 def main() -> None:
-    # 1. The full link at the paper's design point.
-    link = build_io_interface(channel=BackplaneChannel(0.3))
+    # 1. The full link at the paper's design point, as one facade.
+    session = LinkSession.from_configs(channel=ChannelConfig(0.3))
 
     # 2. The paper's stimulus: 2^7-1 PRBS NRZ at 10 Gb/s.
     wave = bits_to_nrz(prbs7(400), BIT_RATE, amplitude=0.25,
                        samples_per_bit=16)
 
-    # 3. Transmit -> channel -> receive.
-    received = link.process(wave)
+    # 3. One call: transmit -> channel -> receive -> eye measurement.
+    result = session.run(wave)
+    measurement = result.eye
 
-    # 4. Measure the eye the way a sampling scope would.
-    eye = EyeDiagram(received, BIT_RATE, skip_ui=16)
-    measurement = eye.measure()
-
-    print(render_eye(eye, title="Received eye @ 10 Gb/s (PRBS7)"))
+    print(render_eye(EyeDiagram(result.output, BIT_RATE, skip_ui=16),
+                     title="Received eye @ 10 Gb/s (PRBS7)"))
     print()
     print(f"eye height     : {measurement.eye_height * 1e3:7.1f} mV")
     print(f"eye width      : {measurement.eye_width_ui:7.3f} UI")
@@ -44,17 +50,35 @@ def main() -> None:
     print(f"Q factor       : {measurement.q_factor:7.1f}"
           f"  (BER ~ {q_to_ber(min(measurement.q_factor, 40.0)):.2e})")
 
-    # 5. The Table I budget.
-    budget = link.budget()
+    # 4. The Table I budget (the built interfaces stay reachable).
+    budget = session.receiver.budget().merged(session.transmitter.budget(),
+                                              prefix="tx-")
     print()
     print(f"power          : {budget.total_power_w() * 1e3:7.1f} mW"
           "   (paper: 70 mW)")
     print(f"core area      : {budget.total_area_mm2():7.4f} mm^2"
           " (paper: 0.028 mm^2)")
-    rx = link.input_interface
-    print(f"DC gain        : {rx.dc_gain_db():7.1f} dB  (paper: 40 dB)")
-    print(f"bandwidth      : {rx.bandwidth_3db() / 1e9:7.2f} GHz"
-          " (paper: 9.5 GHz)")
+    print(f"DC gain        : {session.receiver.dc_gain_db():7.1f} dB"
+          "  (paper: 40 dB)")
+    print(f"bandwidth      : {session.receiver.bandwidth_3db() / 1e9:7.2f}"
+          " GHz (paper: 9.5 GHz)")
+
+    # 5. A scenario study through the same facade: noise seeds ride as
+    #    one batch per trace length; lengths rebuild the channel.
+    grid = ScenarioGrid([
+        SweepAxis("length_m", (0.2, 0.3, 0.4), structural=True),
+        SweepAxis("seed", tuple(range(1, 13))),
+    ])
+    sweep = session.sweep(
+        grid,
+        stimulus=lambda p: add_awgn(wave, rms_volts=3e-3, seed=p["seed"]),
+    )
+    heights = sweep.values(lambda r: r.eye.eye_height)
+    print()
+    print("noise-seed yield per backplane length (12 seeds each):")
+    for row, length in zip(heights, grid.axes[0].values):
+        print(f"  {length:.1f} m: median eye {np.median(row) * 1e3:6.1f} mV,"
+              f" open {100 * float(np.mean(row > 0)):5.1f} %")
 
 
 if __name__ == "__main__":

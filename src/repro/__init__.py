@@ -11,13 +11,13 @@ reference — on top of self-contained substrates for signal generation
 functions + bilinear discretization), 0.18 um device models, and a lossy
 backplane channel.
 
-Quick start::
+Quick start (the batch-first ``repro.link`` facade)::
 
-    from repro import build_io_interface, prbs7, bits_to_nrz, EyeDiagram
+    from repro import ChannelConfig, LinkSession, prbs7, bits_to_nrz
 
-    link = build_io_interface()
+    session = LinkSession.from_configs(channel=ChannelConfig(0.3))
     wave = bits_to_nrz(prbs7(300), bit_rate=10e9, amplitude=0.25)
-    eye = EyeDiagram.measure_waveform(link.process(wave), bit_rate=10e9)
+    eye = session.run(wave).eye
     print(eye.eye_height, eye.q_factor)
 """
 
@@ -25,6 +25,7 @@ from .signals import (
     Waveform,
     DifferentialWaveform,
     WaveformBatch,
+    sample_uniform,
     PrbsGenerator,
     prbs7,
     prbs15,
@@ -95,6 +96,18 @@ from .baselines import (
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
 from .sweep import ScenarioGrid, SweepAxis, SweepResult, SweepRunner
+from .link import (
+    Stage,
+    stage,
+    LinkSession,
+    TxConfig,
+    ChannelConfig,
+    RxConfig,
+    DfeConfig,
+    LinkResult,
+    LinkBatchResult,
+    run_framed_link,
+)
 
 __version__ = "1.0.0"
 
@@ -102,6 +115,7 @@ __all__ = [
     "Waveform",
     "DifferentialWaveform",
     "WaveformBatch",
+    "sample_uniform",
     "PrbsGenerator",
     "prbs7",
     "prbs15",
@@ -171,5 +185,15 @@ __all__ = [
     "SweepAxis",
     "SweepRunner",
     "SweepResult",
+    "Stage",
+    "stage",
+    "LinkSession",
+    "TxConfig",
+    "ChannelConfig",
+    "RxConfig",
+    "DfeConfig",
+    "LinkResult",
+    "LinkBatchResult",
+    "run_framed_link",
     "__version__",
 ]

@@ -14,9 +14,11 @@ Two execution paths share one set of kernels, mirroring the CDR layer:
 
 * :meth:`DecisionFeedbackEqualizer.equalize` — the serial reference,
   one scalar decision history per waveform;
-* :meth:`DecisionFeedbackEqualizer.equalize_batch` — N scenarios
-  advanced together, one bit-step at a time, with per-row decision
-  history and vectorized interpolation sampling.
+* the batched kernel — N scenarios advanced together, one bit-step at
+  a time, with per-row decision history and vectorized interpolation
+  sampling; reached through ``repro.link`` (``stage(dfe).equalize`` or
+  :class:`~repro.link.LinkSession`), with the deprecated
+  ``equalize_batch`` shim delegating to the same code.
 
 Both sample through :func:`~repro.signals.waveform.sample_uniform` and
 apply the feedback subtraction in the same expression order, so row
@@ -27,6 +29,7 @@ apply the feedback subtraction in the same expression order, so row
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -146,6 +149,22 @@ class DecisionFeedbackEqualizer:
 
     def equalize_batch(self, batch: WaveformBatch
                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Deprecated alias for the single batched dispatch path.
+
+        Use ``repro.link.stage(dfe).equalize(batch)`` or a
+        :class:`~repro.link.LinkSession` with a DFE config; both drive
+        the same kernel this method always ran.
+        """
+        warnings.warn(
+            "DecisionFeedbackEqualizer.equalize_batch is deprecated; "
+            "drive the DFE through repro.link (stage(dfe).equalize(...) "
+            "or LinkSession.run_batch)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._equalize_batch(batch)
+
+    def _equalize_batch(self, batch: WaveformBatch
+                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Run N independent DFEs over a batch, one bit-step at a time.
 
         Per-row decision history, vectorized interpolation sampling and
@@ -181,8 +200,13 @@ class DecisionFeedbackEqualizer:
 
     def inner_eye_height_batch(self, batch: WaveformBatch,
                                skip_bits: int = 16) -> np.ndarray:
-        """Per-row worst-case vertical opening, one batched pass."""
-        _, corrected = self.equalize_batch(batch)
+        """Deprecated: use ``repro.link.stage(dfe).inner_eye_height``."""
+        warnings.warn(
+            "DecisionFeedbackEqualizer.inner_eye_height_batch is "
+            "deprecated; use repro.link (stage(dfe).inner_eye_height)",
+            DeprecationWarning, stacklevel=2,
+        )
+        _, corrected = self._equalize_batch(batch)
         return inner_eye_height_from_corrected(corrected, skip_bits)
 
 

@@ -13,9 +13,11 @@ Two execution paths share one set of kernels:
 
 * :meth:`BangBangCdr.recover` — the serial reference, one scalar loop
   state per waveform;
-* :meth:`BangBangCdr.recover_batch` — N loops advanced together, one
-  bit-step at a time, with per-row phase/integral/slip state and
-  vectorized sampling and votes.
+* the batched kernel — N loops advanced together, one bit-step at a
+  time, with per-row phase/integral/slip state and vectorized sampling
+  and votes; reached through ``repro.link`` (``stage(cdr).recover`` or
+  :class:`~repro.link.LinkSession`), with the deprecated
+  ``recover_batch`` shim delegating to the same code.
 
 Row ``i`` of a batch run is bit-identical to the serial run of
 ``batch[i]``: both paths sample through
@@ -31,6 +33,7 @@ re-sampling or skipping a bit with an unchanged bit index.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import numpy as np
 
@@ -257,6 +260,28 @@ class BangBangCdr:
                       initial_phase_ui: np.ndarray | None = None,
                       initial_frequency_ppm: np.ndarray | None = None
                       ) -> CdrBatchResult:
+        """Deprecated alias for the single batched dispatch path.
+
+        Use ``repro.link.stage(cdr).recover(batch)`` or a
+        :class:`~repro.link.LinkSession` with a CDR config; both drive
+        the same kernel this method always ran.
+        """
+        warnings.warn(
+            "BangBangCdr.recover_batch is deprecated; drive the loop "
+            "through repro.link (stage(cdr).recover(...) or "
+            "LinkSession.run_batch)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._recover_batch(
+            batch, n_bits=n_bits, initial_phase_ui=initial_phase_ui,
+            initial_frequency_ppm=initial_frequency_ppm,
+        )
+
+    def _recover_batch(self, batch: WaveformBatch,
+                       n_bits: int | None = None,
+                       initial_phase_ui: np.ndarray | None = None,
+                       initial_frequency_ppm: np.ndarray | None = None
+                       ) -> CdrBatchResult:
         """Run N independent loops over a batch, one bit-step at a time.
 
         All rows share the config; ``initial_phase_ui`` /

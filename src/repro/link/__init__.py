@@ -1,0 +1,55 @@
+"""Batch-first public API: one dispatching facade over the whole link.
+
+After the batched-engine PRs, every layer of the library had grown a
+hand-written serial/batch method pair (``process``/batch transparency,
+``recover``/``recover_batch``, ``equalize``/``equalize_batch``,
+``run_link``/``run_link_batch``, ``measure``/``measure_batch``).  This
+package collapses those pairs into one batch-first surface:
+
+* :class:`~repro.link.stage.Stage` — the protocol: one
+  ``__call__(WaveformBatch) -> WaveformBatch`` kernel, with single
+  waveforms lifted through the same code path;
+* :func:`~repro.link.stage.stage` — the adapter wrapping every existing
+  block family (LTI blocks/pipelines, channels, core interfaces,
+  baseline CTLE/DFE/pre-emphasis, the bang-bang CDR, plain callables)
+  onto that protocol;
+* :class:`~repro.link.session.LinkSession` — the facade composing
+  tx → channel → rx → CDR/DFE from config dataclasses, with ``run``,
+  ``run_batch``, ``sweep`` and ``run_framed`` all returning the typed
+  :class:`~repro.link.session.LinkResult` /
+  :class:`~repro.link.session.LinkBatchResult` report family;
+* :func:`~repro.link.session.run_framed_link` — the framed-link runner
+  replacing the ``run_link``/``run_link_batch`` pair.
+
+The old ``*_batch`` twins survive as thin deprecated shims that
+delegate here; batch results remain row-exact against them because the
+shims and the facade share the same kernels.
+"""
+
+from .stage import BlockStage, CdrStage, DfeStage, Stage, stage
+from .session import (
+    ChannelConfig,
+    DfeConfig,
+    LinkBatchResult,
+    LinkResult,
+    LinkSession,
+    RxConfig,
+    TxConfig,
+    run_framed_link,
+)
+
+__all__ = [
+    "Stage",
+    "BlockStage",
+    "CdrStage",
+    "DfeStage",
+    "stage",
+    "TxConfig",
+    "ChannelConfig",
+    "RxConfig",
+    "DfeConfig",
+    "LinkResult",
+    "LinkBatchResult",
+    "LinkSession",
+    "run_framed_link",
+]

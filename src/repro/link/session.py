@@ -1,0 +1,512 @@
+"""``LinkSession``: the batch-first facade over the whole link.
+
+The paper's transceiver is one fixed chain — tx → backplane → rx →
+CDR/DFE → eye/BER — and this module is its single public entry point.
+A session is built either from config dataclasses
+(:class:`TxConfig`/:class:`ChannelConfig`/:class:`RxConfig` plus
+optional :class:`~repro.cdr.CdrConfig`/:class:`DfeConfig`) or from any
+sequence of stage-able objects, and every execution path dispatches
+through the same batched kernels:
+
+* :meth:`LinkSession.run` — one waveform in, one :class:`LinkResult`;
+* :meth:`LinkSession.run_batch` — N scenarios in one pass, a
+  :class:`LinkBatchResult` whose row ``i`` equals ``run(batch[i])``;
+* :meth:`LinkSession.sweep` — a declarative
+  :class:`~repro.sweep.grid.ScenarioGrid` executed by the
+  :class:`~repro.sweep.runner.SweepRunner`, structural axes rebuilding
+  the session's configs by field name;
+* :meth:`LinkSession.run_framed` / :func:`run_framed_link` — the
+  8b/10b framed link (serialize once, batched CDR recovery, per-row
+  decode), replacing the old ``run_link``/``run_link_batch`` pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.eye import EyeMeasurement, measure_eye_batch
+from ..baselines.dfe import (
+    DecisionFeedbackEqualizer,
+    inner_eye_height_from_corrected,
+)
+from ..cdr.loop import BangBangCdr, CdrBatchResult, CdrConfig, CdrResult
+from ..channel.backplane import BackplaneChannel
+from ..core.interface import build_input_interface, build_output_interface
+from ..serdes.serializer import (
+    Deserializer,
+    LinkBatchReport,
+    LinkReport,
+    _report_from_cdr,
+    _serialize_payload,
+)
+from ..signals.batch import WaveformBatch
+from ..signals.waveform import Waveform
+from ..sweep.grid import ScenarioGrid
+from ..sweep.runner import SweepResult, SweepRunner
+from .stage import CdrStage, DfeStage, Stage, _lift, _lower, stage
+
+__all__ = [
+    "TxConfig",
+    "ChannelConfig",
+    "RxConfig",
+    "DfeConfig",
+    "LinkResult",
+    "LinkBatchResult",
+    "LinkSession",
+    "run_framed_link",
+]
+
+
+# ---------------------------------------------------------------------------
+# Config dataclasses: the builder inputs of a session.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class TxConfig:
+    """Transmit side: the paper's output interface."""
+
+    peaking_enabled: bool = True
+    spike_width_ui: float = 0.35
+    spike_current: float = 1.5e-3
+
+    def build(self, bit_rate: float):
+        return build_output_interface(
+            peaking_enabled=self.peaking_enabled,
+            spike_width_ui=self.spike_width_ui,
+            spike_current=self.spike_current,
+            bit_rate=bit_rate,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelConfig:
+    """The backplane between the interfaces; zero length means none."""
+
+    length_m: float = 0.0
+
+    def build(self) -> Optional[BackplaneChannel]:
+        if self.length_m <= 0.0:
+            return None
+        return BackplaneChannel(self.length_m)
+
+
+@dataclasses.dataclass(frozen=True)
+class RxConfig:
+    """Receive side: the paper's input interface."""
+
+    equalizer_enabled: bool = True
+    equalizer_control_voltage: float = 0.7
+
+    def build(self):
+        rx = build_input_interface(
+            equalizer_control_voltage=self.equalizer_control_voltage
+        )
+        if not self.equalizer_enabled:
+            rx = rx.without_equalizer()
+        return rx
+
+
+@dataclasses.dataclass(frozen=True)
+class DfeConfig:
+    """A baud-rate DFE measured after the receive path."""
+
+    taps: Tuple[float, ...]
+    decision_amplitude: float = 1.0
+    sample_phase_ui: float = 0.5
+    skip_bits: int = 16
+
+    def build(self, bit_rate: float) -> DecisionFeedbackEqualizer:
+        return DecisionFeedbackEqualizer(
+            taps=self.taps,
+            bit_rate=bit_rate,
+            decision_amplitude=self.decision_amplitude,
+            sample_phase_ui=self.sample_phase_ui,
+        )
+
+
+def _run_stages(stages: Sequence[Stage],
+                batch: WaveformBatch) -> WaveformBatch:
+    """The one stage-chain loop every session path dispatches through."""
+    for link_stage in stages:
+        batch = link_stage.process_batch(batch)
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# The typed report family.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class LinkResult:
+    """One scenario's outcome: the received waveform plus every
+    measurement the session was configured for."""
+
+    output: Waveform
+    eye: Optional[EyeMeasurement] = None
+    cdr: Optional[CdrResult] = None
+    dfe_decisions: Optional[np.ndarray] = None
+    dfe_corrected: Optional[np.ndarray] = None
+    dfe_inner_eye_height: Optional[float] = None
+
+    @property
+    def cdr_locked(self) -> bool:
+        """True when a CDR ran and locked."""
+        return self.cdr is not None and self.cdr.is_locked
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class LinkBatchResult:
+    """N scenarios' outcomes from one batched pass.
+
+    Row ``i`` (:meth:`row`) equals :meth:`LinkSession.run` of the same
+    scenario — both are assembled by the same kernels.
+    """
+
+    output: WaveformBatch
+    eyes: Optional[List[EyeMeasurement]] = None
+    cdr: Optional[CdrBatchResult] = None
+    dfe_decisions: Optional[np.ndarray] = None
+    dfe_corrected: Optional[np.ndarray] = None
+    dfe_inner_eye_heights: Optional[np.ndarray] = None
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of scenarios in the batch."""
+        return self.output.n_scenarios
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    def row(self, index: int) -> LinkResult:
+        """Scenario ``index`` unpacked into the single-scenario form."""
+        if index < 0:
+            index += self.n_scenarios
+        if not 0 <= index < self.n_scenarios:
+            raise IndexError(f"scenario {index} out of range")
+        return LinkResult(
+            output=self.output[index],
+            eye=self.eyes[index] if self.eyes is not None else None,
+            cdr=self.cdr.row(index) if self.cdr is not None else None,
+            dfe_decisions=(None if self.dfe_decisions is None
+                           else self.dfe_decisions[index]),
+            dfe_corrected=(None if self.dfe_corrected is None
+                           else self.dfe_corrected[index]),
+            dfe_inner_eye_height=(
+                None if self.dfe_inner_eye_heights is None
+                else float(self.dfe_inner_eye_heights[index])),
+        )
+
+    def rows(self) -> List[LinkResult]:
+        """Every scenario unpacked (see :meth:`row`)."""
+        return [self.row(i) for i in range(self.n_scenarios)]
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def eye_heights(self) -> np.ndarray:
+        """Per-scenario vertical eye openings."""
+        if self.eyes is None:
+            raise ValueError("session ran with measure_eye=False")
+        return np.array([eye.eye_height for eye in self.eyes])
+
+    def lock_yield(self) -> float:
+        """Fraction of scenarios whose CDR locked."""
+        if self.cdr is None:
+            raise ValueError("session ran without a CDR")
+        return self.cdr.lock_yield()
+
+
+# ---------------------------------------------------------------------------
+# The facade.
+# ---------------------------------------------------------------------------
+
+class LinkSession:
+    """Composable batch-first link runner.
+
+    Parameters
+    ----------
+    stages:
+        The analog chain, in order; each entry is adapted through
+        :func:`~repro.link.stage` (blocks, pipelines, channels,
+        interfaces, callables, or ready-made stages).
+    bit_rate:
+        Line rate shared by measurement, CDR and DFE.
+    cdr:
+        ``None`` (no recovery), a :class:`~repro.cdr.CdrConfig`, or
+        ``True`` for the default config at ``bit_rate``.
+    dfe:
+        ``None``, a :class:`DfeConfig`, or a ready
+        :class:`~repro.baselines.dfe.DecisionFeedbackEqualizer`.
+    measure_eye / skip_ui:
+        Whether (and how) each run folds a scope-style eye.
+    """
+
+    def __init__(self, stages: Sequence = (), *, bit_rate: float = 10e9,
+                 cdr: "CdrConfig | bool | None" = None,
+                 dfe: "DfeConfig | DecisionFeedbackEqualizer | None" = None,
+                 measure_eye: bool = True, skip_ui: int = 16,
+                 dfe_skip_bits: Optional[int] = None):
+        if bit_rate <= 0:
+            raise ValueError(f"bit_rate must be positive, got {bit_rate}")
+        self.bit_rate = bit_rate
+        self.stages: Tuple[Stage, ...] = tuple(stage(s) for s in stages)
+        if cdr is True:
+            cdr = CdrConfig(bit_rate=bit_rate)
+        self.cdr_config: Optional[CdrConfig] = cdr or None
+        self._cdr_stage = (CdrStage(BangBangCdr(self.cdr_config))
+                           if self.cdr_config is not None else None)
+        if isinstance(dfe, DfeConfig):
+            # An explicit dfe_skip_bits argument wins over the config's.
+            if dfe_skip_bits is None:
+                dfe_skip_bits = dfe.skip_bits
+            dfe = dfe.build(bit_rate)
+        self.dfe: Optional[DecisionFeedbackEqualizer] = dfe
+        self._dfe_stage = DfeStage(dfe) if dfe is not None else None
+        self.measure_eye = measure_eye
+        self.skip_ui = skip_ui
+        self.dfe_skip_bits = 16 if dfe_skip_bits is None else dfe_skip_bits
+        #: Built components, populated by :meth:`from_configs` so
+        #: metric accessors (budget, DC gain, output swing) stay reachable.
+        self.transmitter = None
+        self.channel = None
+        self.receiver = None
+        self._configs: Optional[Tuple] = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_configs(cls, tx: Optional[TxConfig] = TxConfig(),
+                     channel: Optional[ChannelConfig] = ChannelConfig(),
+                     rx: Optional[RxConfig] = RxConfig(), *,
+                     bit_rate: float = 10e9,
+                     cdr: "CdrConfig | bool | None" = None,
+                     dfe: "DfeConfig | DecisionFeedbackEqualizer | None"
+                     = None,
+                     measure_eye: bool = True, skip_ui: int = 16,
+                     dfe_skip_bits: Optional[int] = None) -> "LinkSession":
+        """Build the paper's tx → channel → rx chain from configs.
+
+        Any of ``tx``/``channel``/``rx`` may be ``None`` to omit that
+        leg (``ChannelConfig(0.0)`` also omits the channel).  The
+        configs are retained, so :meth:`sweep` can rebuild the chain
+        along structural axes by config field name.
+        """
+        stages, built = cls._build_chain(tx, channel, rx, bit_rate)
+        session = cls(stages, bit_rate=bit_rate, cdr=cdr, dfe=dfe,
+                      measure_eye=measure_eye, skip_ui=skip_ui,
+                      dfe_skip_bits=dfe_skip_bits)
+        session.transmitter, session.channel, session.receiver = built
+        session._configs = (tx, channel, rx)
+        return session
+
+    @staticmethod
+    def _build_chain(tx: Optional[TxConfig], channel: Optional[ChannelConfig],
+                     rx: Optional[RxConfig], bit_rate: float):
+        transmitter = tx.build(bit_rate) if tx is not None else None
+        chan = channel.build() if channel is not None else None
+        receiver = rx.build() if rx is not None else None
+        stages = [block for block in (transmitter, chan, receiver)
+                  if block is not None]
+        return stages, (transmitter, chan, receiver)
+
+    # -- execution ---------------------------------------------------------
+    def process(self, signal):
+        """Push a signal through the analog stages (no measurement).
+
+        One dispatch path: ``Waveform`` in → ``Waveform`` out,
+        ``WaveformBatch`` in → ``WaveformBatch`` out.
+        """
+        batch, was_single = _lift(signal)
+        return _lower(_run_stages(self.stages, batch), was_single)
+
+    def _analyze(self, out: WaveformBatch) -> LinkBatchResult:
+        """Measure an already-processed batch into the report form."""
+        eyes = (measure_eye_batch(out, self.bit_rate, skip_ui=self.skip_ui)
+                if self.measure_eye else None)
+        cdr_result = (self._cdr_stage.recover(out)
+                      if self._cdr_stage is not None else None)
+        dfe_decisions = dfe_corrected = dfe_heights = None
+        if self._dfe_stage is not None:
+            dfe_decisions, dfe_corrected = self._dfe_stage.equalize(out)
+            dfe_heights = inner_eye_height_from_corrected(
+                dfe_corrected, self.dfe_skip_bits)
+        return LinkBatchResult(output=out, eyes=eyes, cdr=cdr_result,
+                               dfe_decisions=dfe_decisions,
+                               dfe_corrected=dfe_corrected,
+                               dfe_inner_eye_heights=dfe_heights)
+
+    def _run(self, batch: WaveformBatch) -> LinkBatchResult:
+        return self._analyze(_run_stages(self.stages, batch))
+
+    def run(self, wave: Waveform) -> LinkResult:
+        """One scenario end to end (dispatches through the batch path)."""
+        if not isinstance(wave, Waveform):
+            raise TypeError(
+                f"run() takes a Waveform, got {type(wave).__name__}; "
+                "use run_batch() for batches"
+            )
+        result = self._run(_lift(wave)[0])
+        if result.n_scenarios != 1:
+            raise ValueError(
+                f"a stage fanned the waveform out to "
+                f"{result.n_scenarios} scenarios; use run_batch() to "
+                "keep every row"
+            )
+        return result.row(0)
+
+    def run_batch(self, batch) -> LinkBatchResult:
+        """N scenarios in one batched pass.
+
+        Accepts a :class:`WaveformBatch`, a single waveform (one-row
+        batch), or a sequence of compatible waveforms (stacked).
+        """
+        if isinstance(batch, Waveform):
+            batch = _lift(batch)[0]
+        elif not isinstance(batch, WaveformBatch):
+            batch = WaveformBatch.stack(list(batch))
+        return self._run(batch)
+
+    # -- sweeps ------------------------------------------------------------
+    def sweep(self, grid: ScenarioGrid,
+              stimulus: Callable[[Dict], Waveform], *,
+              measure: Optional[Callable[[WaveformBatch, List[Dict]],
+                                         Sequence]] = None,
+              processes: Optional[int] = None,
+              serial: bool = False) -> SweepResult:
+        """Execute a scenario grid through the facade.
+
+        Batchable axes ride through the stage chain as one
+        :class:`WaveformBatch` per structural point; structural axes
+        whose names match config fields (``length_m``,
+        ``peaking_enabled``, ``equalizer_enabled``, ...) rebuild the
+        chain via :meth:`from_configs`'s retained configs.  The default
+        measurement is the session's own :meth:`_analyze`, so each
+        scenario's result is a :class:`LinkResult`; pass ``measure`` to
+        record something else (it receives the processed batch and the
+        scenario parameter dicts).  ``serial=True`` runs the
+        per-waveform reference loop instead of the batched engine.
+        """
+        if measure is None:
+            def measure(out: WaveformBatch, params: List[Dict]):
+                return self._analyze(out).rows()
+        runner = SweepRunner(grid, stimulus=stimulus,
+                             build=self._builder_for(grid),
+                             measure_batch=measure, processes=processes)
+        return runner.run_serial() if serial else runner.run()
+
+    def _builder_for(self, grid: ScenarioGrid):
+        structural = [axis.name for axis in grid.structural_axes()]
+        if not structural and not self.stages:
+            return None
+        if not structural:
+            return lambda _params: self.process
+        if self._configs is None:
+            raise ValueError(
+                f"structural axes {structural} need a session built by "
+                "LinkSession.from_configs (configs are required to "
+                "rebuild the chain)"
+            )
+        return self._rebuild_processor
+
+    def _rebuild_processor(self, structural_params: Dict):
+        """A processor for one structural point: the configs with the
+        matching fields replaced, rebuilt into a fresh stage chain."""
+        tx, channel, rx = self._configs
+        used = set()
+
+        def override(config):
+            if config is None:
+                return None
+            names = {field.name for field in dataclasses.fields(config)}
+            hits = {key: value for key, value in structural_params.items()
+                    if key in names}
+            used.update(hits)
+            return dataclasses.replace(config, **hits) if hits else config
+
+        blocks, _ = self._build_chain(override(tx), override(channel),
+                                      override(rx), self.bit_rate)
+        unknown = set(structural_params) - used
+        if unknown:
+            raise KeyError(
+                f"structural parameters {sorted(unknown)} match no field "
+                "of the session's tx/channel/rx configs"
+            )
+        stages = tuple(stage(block) for block in blocks)
+
+        def processor(signal):
+            batch, was_single = _lift(signal)
+            return _lower(_run_stages(stages, batch), was_single)
+
+        return processor
+
+    # -- framed link -------------------------------------------------------
+    def run_framed(self, payload: bytes, *,
+                   fanout: Optional[Callable[[Waveform], Any]] = None,
+                   samples_per_bit: int = 16, amplitude: float = 0.25,
+                   training_commas: int = 40, training_bytes: int = 8,
+                   use_last_comma: bool = False
+                   ) -> "LinkReport | LinkBatchReport":
+        """8b/10b framed transport through the session's stages.
+
+        The payload is serialized once; ``fanout`` (e.g.
+        ``lambda w: WaveformBatch.with_noise_seeds(w, rms, seeds)``)
+        optionally expands it to N scenarios before the analog chain.
+        Returns a :class:`~repro.serdes.LinkReport` without fan-out, a
+        :class:`~repro.serdes.LinkBatchReport` with it.
+        """
+        def path(wave: Waveform):
+            signal = fanout(wave) if fanout is not None else wave
+            return self.process(signal)
+
+        return run_framed_link(
+            payload, path, bit_rate=self.bit_rate,
+            samples_per_bit=samples_per_bit, amplitude=amplitude,
+            cdr=self.cdr_config, training_commas=training_commas,
+            training_bytes=training_bytes, use_last_comma=use_last_comma,
+        )
+
+
+def run_framed_link(payload: bytes,
+                    path: Optional[Callable[[Waveform], Any]] = None, *,
+                    bit_rate: float = 10e9, samples_per_bit: int = 16,
+                    amplitude: float = 0.25, cdr_kp: float = 4e-3,
+                    cdr: Optional[CdrConfig] = None,
+                    training_commas: int = 40, training_bytes: int = 8,
+                    use_last_comma: bool = False
+                    ) -> "LinkReport | LinkBatchReport":
+    """The one dispatching framed-link runner.
+
+    Serializes the payload once (commas + settle pad), applies ``path``
+    (any waveform transform; it may fan one waveform out to a
+    :class:`WaveformBatch` of scenarios), recovers every scenario with
+    one batched CDR pass, and comma-aligns/decodes each row.  A path
+    returning a single :class:`Waveform` yields a
+    :class:`~repro.serdes.LinkReport`; a batch yields a
+    :class:`~repro.serdes.LinkBatchReport` whose row ``i`` equals the
+    single-scenario run of that row.  Replaces the old paired
+    ``run_link``/``run_link_batch`` entry points.
+    """
+    wave = _serialize_payload(payload, bit_rate, samples_per_bit, amplitude,
+                              training_commas, training_bytes)
+    received = path(wave) if path is not None else wave
+    was_single = isinstance(received, Waveform)
+    if was_single:
+        received = _lift(received)[0]
+    if not isinstance(received, WaveformBatch):
+        raise TypeError(
+            f"path must return a Waveform or WaveformBatch, got "
+            f"{type(received).__name__}"
+        )
+    config = cdr if cdr is not None else CdrConfig(bit_rate=bit_rate,
+                                                   kp=cdr_kp)
+    result = BangBangCdr(config)._recover_batch(received)
+    deserializer = Deserializer(use_last_comma=use_last_comma)
+    reports = [
+        _report_from_cdr(payload, result.row(i), deserializer,
+                         training_bytes)
+        for i in range(result.n_scenarios)
+    ]
+    batch_report = LinkBatchReport(reports=reports)
+    return batch_report[0] if was_single else batch_report

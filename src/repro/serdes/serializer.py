@@ -11,6 +11,7 @@ composition).
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -297,46 +298,27 @@ def run_link_batch(payload: bytes,
                    training_commas: int = 40,
                    training_bytes: int = 8,
                    use_last_comma: bool = False) -> LinkBatchReport:
-    """Run N framed-link scenarios with one serialization and one
-    batched closed-loop CDR recovery.
+    """Deprecated shim over :func:`repro.link.run_framed_link`.
 
-    The payload is 8b/10b-coded and serialized **once**; ``analog_path``
-    receives that transmit waveform and returns a
-    :class:`~repro.signals.batch.WaveformBatch` of N receive-side
-    scenarios (tile it and add per-scenario noise/jitter, or push it
-    through any batch-transparent pipeline — e.g.
-    ``WaveformBatch.with_noise_seeds`` then ``rx.process``).  All N CDR
-    loops advance together through
-    :meth:`~repro.cdr.BangBangCdr.recover_batch`, and each recovered
-    decision stream is comma-aligned and decoded independently.
-
-    Scenario ``i`` of the result equals ``run_link`` on the same
-    per-row waveform: the batched loop is row-exact against the serial
-    one and the framing layers are identical.  A path returning a plain
-    :class:`~repro.signals.waveform.Waveform` is treated as a 1-row
-    batch.
+    The facade is the one dispatching framed-link runner (serialize
+    once, batched CDR recovery, per-row decode); this wrapper only
+    preserves the historical contract that a path returning a plain
+    :class:`~repro.signals.waveform.Waveform` still yields a 1-row
+    :class:`LinkBatchReport`.
     """
-    from ..cdr import BangBangCdr, CdrConfig
+    warnings.warn(
+        "run_link_batch is deprecated; use repro.link.run_framed_link "
+        "(or LinkSession.run_framed)",
+        DeprecationWarning, stacklevel=2,
+    )
+    from ..link.session import run_framed_link
 
-    wave = _serialize_payload(payload, bit_rate, samples_per_bit,
-                                     amplitude, training_commas,
-                                     training_bytes)
-    received = analog_path(wave)
-    if isinstance(received, Waveform):
-        received = WaveformBatch(received.data[np.newaxis, :],
-                                 received.sample_rate, t0=received.t0)
-    if not isinstance(received, WaveformBatch):
-        raise TypeError(
-            f"analog_path must return a WaveformBatch (or Waveform), "
-            f"got {type(received).__name__}"
-        )
-
-    cdr = BangBangCdr(CdrConfig(bit_rate=bit_rate, kp=cdr_kp))
-    batch_result = cdr.recover_batch(received)
-    deserializer = Deserializer(use_last_comma=use_last_comma)
-    reports = [
-        _report_from_cdr(payload, batch_result.row(i), deserializer,
-                         training_bytes)
-        for i in range(batch_result.n_scenarios)
-    ]
-    return LinkBatchReport(reports=reports)
+    report = run_framed_link(
+        payload, analog_path, bit_rate=bit_rate,
+        samples_per_bit=samples_per_bit, amplitude=amplitude,
+        cdr_kp=cdr_kp, training_commas=training_commas,
+        training_bytes=training_bytes, use_last_comma=use_last_comma,
+    )
+    if isinstance(report, LinkReport):
+        report = LinkBatchReport(reports=[report])
+    return report

@@ -5,7 +5,7 @@ produces the 2^7-1 PRBS NRZ stimulus at 10 Gb/s (with realistic rise
 time, jitter and noise) that every eye-diagram experiment consumes.
 """
 
-from .waveform import Waveform, DifferentialWaveform
+from .waveform import Waveform, DifferentialWaveform, sample_uniform
 from .batch import WaveformBatch
 from .prbs import (
     PrbsGenerator,
@@ -36,6 +36,7 @@ from .noise import (
 __all__ = [
     "Waveform",
     "DifferentialWaveform",
+    "sample_uniform",
     "WaveformBatch",
     "PrbsGenerator",
     "prbs_sequence",

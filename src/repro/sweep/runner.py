@@ -37,9 +37,10 @@ def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
     CDR closed-loop over every scenario.
 
     The batched half advances all of a structural point's scenarios
-    through :meth:`~repro.cdr.BangBangCdr.recover_batch` in one pass —
-    the serial half (used by :meth:`SweepRunner.run_serial`) recovers
-    each row on its own, and the two are row-exact by construction.
+    through the CDR's batched kernel (the one ``repro.link`` drives) in
+    one pass — the serial half (used by :meth:`SweepRunner.run_serial`)
+    recovers each row on its own, and the two are row-exact by
+    construction.
 
     ``reduce(result, params)`` maps each per-scenario
     :class:`~repro.cdr.CdrResult` to the value recorded in the
@@ -62,7 +63,7 @@ def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
 
     def measure_batch(batch: WaveformBatch,
                       params_list: List[Dict]) -> List[Any]:
-        rows = cdr.recover_batch(batch, n_bits=n_bits).rows()
+        rows = cdr._recover_batch(batch, n_bits=n_bits).rows()
         if reduce is not None:
             return [reduce(row, params)
                     for row, params in zip(rows, params_list)]
@@ -78,10 +79,10 @@ def dfe_measure(dfe, skip_bits: int = 16,
     scenario.
 
     The batched half advances all of a structural point's scenarios
-    through :meth:`~repro.baselines.dfe.DecisionFeedbackEqualizer.equalize_batch`
-    in one pass; the serial half (used by
-    :meth:`SweepRunner.run_serial`) equalizes each row on its own, and
-    the two are row-exact by construction.
+    through the DFE's batched kernel (the one ``repro.link`` drives) in
+    one pass; the serial half (used by :meth:`SweepRunner.run_serial`)
+    equalizes each row on its own, and the two are row-exact by
+    construction.
 
     ``reduce((decisions, corrected), params)`` maps each scenario's DFE
     output to the value recorded in the :class:`SweepResult`; the
@@ -103,7 +104,7 @@ def dfe_measure(dfe, skip_bits: int = 16,
 
     def measure_batch(batch: WaveformBatch,
                       params_list: List[Dict]) -> List[Any]:
-        decisions, corrected = dfe.equalize_batch(batch)
+        decisions, corrected = dfe._equalize_batch(batch)
         if reduce is not None:
             return [reduce((decisions[i], corrected[i]), params)
                     for i, params in enumerate(params_list)]

@@ -351,9 +351,11 @@ def test_batch_sample_at_rejects_mismatched_instant_rows():
 @settings(max_examples=30, deadline=None)
 def test_dfe_equalize_batch_property_row_exact(n_taps, ui_samples,
                                                extra_samples, n_rows, seed):
-    """equalize_batch is row-exact against equalize across tap counts,
-    non-integer samples-per-UI and mixed scenario lengths."""
+    """The batched DFE dispatch is row-exact against serial equalize
+    across tap counts, non-integer samples-per-UI and mixed scenario
+    lengths."""
     from repro.baselines import DecisionFeedbackEqualizer
+    from repro.link import stage
 
     rng = np.random.default_rng(seed)
     sample_rate = ui_samples * BIT_RATE
@@ -365,8 +367,8 @@ def test_dfe_equalize_batch_property_row_exact(n_taps, ui_samples,
         bit_rate=BIT_RATE,
         sample_phase_ui=float(rng.uniform(0.2, 0.8)),
     )
-    decisions, corrected = dfe.equalize_batch(batch)
-    heights = dfe.inner_eye_height_batch(batch, skip_bits=4)
+    decisions, corrected = stage(dfe).equalize(batch)
+    heights = stage(dfe).inner_eye_height(batch, skip_bits=4)
     for i, row in enumerate(batch.rows()):
         ref_decisions, ref_corrected = dfe.equalize(row)
         np.testing.assert_array_equal(decisions[i], ref_decisions)

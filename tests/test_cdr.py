@@ -13,6 +13,7 @@ from repro.cdr import (
     alexander_votes,
     alexander_votes_batch,
 )
+from repro.link import stage
 from repro.signals import (
     RandomJitter,
     NrzEncoder,
@@ -313,7 +314,7 @@ def jittered_batch(n_rows=6, n_bits=600, amplitude=0.4):
 def test_recover_batch_rows_match_serial_on_jittered_waveforms():
     batch = jittered_batch()
     cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
-    batched = cdr.recover_batch(batch)
+    batched = stage(cdr).recover(batch)
     assert batched.n_scenarios == len(batch)
     for i in range(len(batch)):
         serial = cdr.recover(batch[i])
@@ -334,7 +335,7 @@ def test_recover_batch_rows_match_serial_with_slips():
     config = CdrConfig(bit_rate=BIT_RATE, ki=0.0,
                        initial_frequency_ppm=4000.0)
     cdr = BangBangCdr(config)
-    batched = cdr.recover_batch(batch)
+    batched = stage(cdr).recover(batch)
     for i in range(len(batch)):
         serial = cdr.recover(batch[i])
         row = batched.row(i)
@@ -351,7 +352,7 @@ def test_recover_batch_initial_state_overrides():
     base = CdrConfig(bit_rate=BIT_RATE)
     phases0 = np.array([-0.3, 0.0, 0.4])
     ppm = np.array([0.0, 100.0, -100.0])
-    batched = BangBangCdr(base).recover_batch(
+    batched = stage(BangBangCdr(base)).recover(
         batch, initial_phase_ui=phases0, initial_frequency_ppm=ppm)
     for i in range(3):
         config = dataclasses.replace(base,
@@ -368,8 +369,8 @@ def test_recover_batch_validation():
     batch = jittered_batch(n_rows=2)
     cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
     with pytest.raises(ValueError):
-        cdr.recover_batch(batch, initial_phase_ui=np.zeros(5))
+        stage(cdr).recover(batch, initial_phase_ui=np.zeros(5))
     short = WaveformBatch.tiled(
         bits_to_nrz(prbs7(10), BIT_RATE, samples_per_bit=16), 3)
     with pytest.raises(ValueError):
-        cdr.recover_batch(short)
+        stage(cdr).recover(short)

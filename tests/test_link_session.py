@@ -1,0 +1,436 @@
+"""The batch-first ``LinkSession`` facade and the ``Stage`` dispatch.
+
+Pins the api-redesign contract:
+
+* ``LinkSession.run`` and ``run_batch`` are row-exact across
+  jitter/noise/channel-length scenarios (one dispatching code path);
+* every block family — LTI blocks/pipelines, channels, core
+  interfaces, baseline CTLE/DFE/pre-emphasis, CDR, the framed serdes
+  runner — is drivable through ``stage()`` with Waveform in →
+  Waveform out and WaveformBatch in → WaveformBatch out, matching the
+  family's serial reference per row;
+* the old ``*_batch`` twins are deprecated shims that still delegate
+  to the same kernels.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChannelConfig,
+    CdrConfig,
+    DfeConfig,
+    LinkBatchResult,
+    LinkResult,
+    LinkSession,
+    RxConfig,
+    ScenarioGrid,
+    Stage,
+    SweepAxis,
+    TxConfig,
+    WaveformBatch,
+    bits_to_nrz,
+    prbs7,
+    run_framed_link,
+    run_link,
+    sample_uniform,
+    stage,
+)
+from repro.baselines import (
+    DecisionFeedbackEqualizer,
+    FirPreEmphasis,
+    GenericCtle,
+    dfe_taps_from_channel,
+)
+from repro.cdr import BangBangCdr
+from repro.channel import BackplaneChannel
+from repro.core import build_input_interface
+from repro.link import BlockStage, CdrStage, DfeStage
+from repro.lti import GainBlock, LinearBlock, Pipeline, TanhLimiter, \
+    first_order_lowpass
+from repro.serdes import run_link_batch
+from repro.signals import NrzEncoder, RandomJitter, add_awgn
+
+BIT_RATE = 10e9
+
+
+def scenario_batch(n_rows=3, n_bits=300, amplitude=0.25, noise_rms=2e-3):
+    """Per-row jittered + noisy PRBS stimulus."""
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=16,
+                         amplitude=amplitude)
+    bits = prbs7(n_bits)
+    waves = []
+    for seed in range(1, n_rows + 1):
+        jitter = RandomJitter(2e-12, seed=seed)
+        wave = encoder.encode(bits,
+                              edge_offsets=jitter.offsets(n_bits, BIT_RATE))
+        waves.append(add_awgn(wave, noise_rms, seed=seed))
+    return WaveformBatch.stack(waves)
+
+
+def assert_results_equal(single: LinkResult, from_batch: LinkResult):
+    np.testing.assert_array_equal(single.output.data,
+                                  from_batch.output.data)
+    assert single.eye == from_batch.eye
+    if single.cdr is None:
+        assert from_batch.cdr is None
+    else:
+        np.testing.assert_array_equal(single.cdr.decisions,
+                                      from_batch.cdr.decisions)
+        np.testing.assert_array_equal(single.cdr.phase_track_ui,
+                                      from_batch.cdr.phase_track_ui)
+        assert single.cdr.locked_at_bit == from_batch.cdr.locked_at_bit
+        assert single.cdr.slips == from_batch.cdr.slips
+    if single.dfe_corrected is None:
+        assert from_batch.dfe_corrected is None
+    else:
+        np.testing.assert_array_equal(single.dfe_decisions,
+                                      from_batch.dfe_decisions)
+        np.testing.assert_array_equal(single.dfe_corrected,
+                                      from_batch.dfe_corrected)
+        assert single.dfe_inner_eye_height == \
+            from_batch.dfe_inner_eye_height
+
+
+# -- run vs run_batch row-exactness -------------------------------------------
+
+@pytest.mark.parametrize("length_m", [0.0, 0.4])
+def test_run_vs_run_batch_row_exact_across_scenarios(length_m):
+    session = LinkSession.from_configs(
+        channel=ChannelConfig(length_m),
+        cdr=CdrConfig(bit_rate=BIT_RATE),
+        dfe=DfeConfig(taps=(0.02,)),
+    )
+    batch = scenario_batch(n_rows=3)
+    batched = session.run_batch(batch)
+    assert isinstance(batched, LinkBatchResult)
+    assert batched.n_scenarios == 3
+    for i in range(3):
+        assert_results_equal(session.run(batch[i]), batched.row(i))
+    assert batched.lock_yield() == 1.0
+    assert np.all(batched.eye_heights() > 0)
+
+
+def test_run_vs_run_batch_row_exact_across_noise_levels():
+    session = LinkSession.from_configs(tx=None, channel=None,
+                                       cdr=CdrConfig(bit_rate=BIT_RATE))
+    rows = [scenario_batch(1, noise_rms=rms)[0]
+            for rms in (0.0, 5e-3, 2e-2)]
+    batched = session.run_batch(rows)          # sequence form stacks
+    for i, row in enumerate(rows):
+        assert_results_equal(session.run(row), batched.row(i))
+
+
+def test_run_rejects_batches_and_run_batch_accepts_waveform():
+    session = LinkSession([], bit_rate=BIT_RATE)
+    batch = scenario_batch(2)
+    with pytest.raises(TypeError):
+        session.run(batch)
+    single = session.run_batch(batch[0])
+    assert single.n_scenarios == 1
+
+
+# -- stage() dispatch per block family ----------------------------------------
+
+def _dispatch_check(wrapped, serial_process, batch, exact=True):
+    """Waveform in → Waveform out; batch in → batch out; rows match the
+    family's serial reference."""
+    single_out = wrapped(batch[0])
+    reference = serial_process(batch[0])
+    assert not isinstance(single_out, WaveformBatch)
+    comparer = (np.testing.assert_array_equal if exact
+                else lambda a, b: np.testing.assert_allclose(
+                    a, b, rtol=0, atol=1e-12))
+    comparer(single_out.data, reference.data)
+    batch_out = wrapped(batch)
+    assert isinstance(batch_out, WaveformBatch)
+    for i in range(batch.n_scenarios):
+        comparer(batch_out.data[i], serial_process(batch[i]).data)
+
+
+def test_stage_dispatch_lti_blocks_and_pipeline():
+    batch = scenario_batch(3)
+    limiter = TanhLimiter(gain=4.0, limit=0.125)
+    _dispatch_check(stage(limiter), limiter.process, batch)
+    pipe = Pipeline([GainBlock(2.0),
+                     LinearBlock(first_order_lowpass(8e9)),
+                     limiter])
+    _dispatch_check(stage(pipe), pipe.process, batch)
+
+
+def test_stage_dispatch_channel():
+    batch = scenario_batch(3)
+    channel = BackplaneChannel(0.4)
+    _dispatch_check(stage(channel), channel.process, batch)
+
+
+def test_stage_dispatch_core_interface():
+    batch = scenario_batch(2)
+    rx = build_input_interface()
+    _dispatch_check(stage(rx), rx.process, batch)
+
+
+def test_stage_dispatch_baseline_ctle_and_preemphasis():
+    batch = scenario_batch(2)
+    ctle = GenericCtle(dc_gain=1.0, zero_hz=2e9, pole1_hz=6e9,
+                       pole2_hz=12e9)
+    _dispatch_check(stage(ctle), ctle.to_block().process, batch)
+    fir = FirPreEmphasis(taps=(1.2, -0.2), bit_rate=BIT_RATE)
+    _dispatch_check(stage(fir), fir.process, batch)
+
+
+def test_stage_dispatch_dfe_matches_serial():
+    channel = BackplaneChannel(0.5)
+    received = channel.process(
+        bits_to_nrz(prbs7(120), BIT_RATE, amplitude=1.0,
+                    samples_per_bit=16))
+    batch = WaveformBatch.stack([add_awgn(received, 0.02, seed=s)
+                                 for s in range(1, 5)])
+    taps = dfe_taps_from_channel(channel, BIT_RATE, n_taps=2, amplitude=1.0)
+    dfe = DecisionFeedbackEqualizer(taps=taps, bit_rate=BIT_RATE)
+    wrapped = stage(dfe)
+    assert isinstance(wrapped, DfeStage)
+    decisions, corrected = wrapped.equalize(batch)
+    heights = wrapped.inner_eye_height(batch)
+    for i, row in enumerate(batch.rows()):
+        ref_decisions, ref_corrected = dfe.equalize(row)
+        np.testing.assert_array_equal(decisions[i], ref_decisions)
+        np.testing.assert_array_equal(corrected[i], ref_corrected)
+        assert heights[i] == dfe.inner_eye_height(row)
+        one_decisions, one_corrected = wrapped.equalize(row)
+        np.testing.assert_array_equal(one_decisions, ref_decisions)
+        np.testing.assert_array_equal(one_corrected, ref_corrected)
+    # The waveform-domain form: corrected samples on the baud timebase.
+    as_batch = wrapped(batch)
+    assert isinstance(as_batch, WaveformBatch)
+    assert as_batch.sample_rate == BIT_RATE
+    np.testing.assert_array_equal(as_batch.data, corrected)
+
+
+def test_stage_dispatch_cdr_matches_serial():
+    batch = scenario_batch(3, amplitude=0.4)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
+    wrapped = stage(cdr)
+    assert isinstance(wrapped, CdrStage)
+    batched = wrapped.recover(batch)
+    for i in range(len(batch)):
+        serial = cdr.recover(batch[i])
+        row = batched.row(i)
+        np.testing.assert_array_equal(row.decisions, serial.decisions)
+        np.testing.assert_array_equal(row.phase_track_ui,
+                                      serial.phase_track_ui)
+        np.testing.assert_array_equal(row.votes, serial.votes)
+        assert row.locked_at_bit == serial.locked_at_bit
+        assert row.slips == serial.slips
+        single = wrapped.recover(batch[i])
+        np.testing.assert_array_equal(single.decisions, serial.decisions)
+    # Waveform-domain form: the decision streams at the bit rate.
+    decisions_wave = wrapped(batch)
+    assert isinstance(decisions_wave, WaveformBatch)
+    assert decisions_wave.sample_rate == BIT_RATE
+    np.testing.assert_array_equal(decisions_wave.data,
+                                  batched.decisions.astype(float))
+
+
+def test_stage_dispatch_cdr_initial_state_overrides():
+    batch = scenario_batch(3, amplitude=0.4)
+    base = CdrConfig(bit_rate=BIT_RATE)
+    phases0 = np.array([-0.3, 0.0, 0.4])
+    ppm = np.array([0.0, 100.0, -100.0])
+    batched = stage(BangBangCdr(base)).recover(
+        batch, initial_phase_ui=phases0, initial_frequency_ppm=ppm)
+    for i in range(3):
+        config = dataclasses.replace(base,
+                                     initial_phase_ui=float(phases0[i]),
+                                     initial_frequency_ppm=float(ppm[i]))
+        serial = BangBangCdr(config).recover(batch[i])
+        np.testing.assert_array_equal(batched.row(i).decisions,
+                                      serial.decisions)
+        np.testing.assert_array_equal(batched.row(i).phase_track_ui,
+                                      serial.phase_track_ui)
+
+
+def test_stage_dispatch_framed_serdes():
+    payload = b"facade framed link!!"
+    seeds = [1, 2, 3]
+    rms = 0.01
+    batch_report = run_framed_link(
+        payload,
+        path=lambda w: WaveformBatch.with_noise_seeds(w, rms, seeds),
+        training_commas=24, training_bytes=4,
+    )
+    assert batch_report.n_scenarios == len(seeds)
+    for seed, from_batch in zip(seeds, batch_report):
+        reference = run_link(
+            payload,
+            analog_path=lambda w, seed=seed: add_awgn(w, rms, seed=seed),
+            training_commas=24, training_bytes=4,
+        )
+        assert from_batch.payload_received == reference.payload_received
+        assert from_batch.cdr_locked == reference.cdr_locked
+        assert from_batch.cdr_slips == reference.cdr_slips
+    # A waveform-returning path dispatches to the single-report form.
+    single = run_framed_link(payload, path=lambda w: w,
+                             training_commas=24, training_bytes=4)
+    assert single.error_free
+    with pytest.raises(TypeError):
+        run_framed_link(b"junk", path=lambda w: w.data)
+
+
+def test_stage_adapter_rules():
+    limiter = TanhLimiter(gain=2.0, limit=0.1)
+    wrapped = stage(limiter)
+    assert isinstance(wrapped, BlockStage)
+    assert stage(wrapped) is wrapped           # Stage passes through
+    assert isinstance(wrapped, Stage)
+    named = stage(lambda b: b * 2.0, name="doubler")
+    assert named.name == "doubler"
+    batch = scenario_batch(2)
+    np.testing.assert_array_equal(named(batch).data, 2.0 * batch.data)
+    with pytest.raises(TypeError):
+        wrapped(np.zeros(8))                   # not a signal
+    with pytest.raises(TypeError):
+        stage(object())
+
+
+def test_stage_fanout_keeps_batch_form():
+    # A stage kernel may expand scenarios (noise fan-out); the result
+    # then stays a batch even when the input was a single waveform.
+    fan = stage(lambda b: b.with_data(np.repeat(b.data, 4, axis=0)),
+                name="fanout")
+    wave = scenario_batch(1)[0]
+    out = fan(wave)
+    assert isinstance(out, WaveformBatch)      # 1 -> 4 rows stays a batch
+    assert out.n_scenarios == 4
+
+
+# -- sweep through the facade -------------------------------------------------
+
+def test_session_sweep_batched_matches_serial_reference():
+    session = LinkSession.from_configs(
+        tx=TxConfig(), channel=ChannelConfig(0.3),
+        rx=RxConfig(equalizer_control_voltage=0.6),
+        cdr=CdrConfig(bit_rate=BIT_RATE))
+    grid = ScenarioGrid([
+        SweepAxis("length_m", (0.2, 0.5), structural=True),
+        SweepAxis("seed", (1, 2, 3)),
+    ])
+
+    def stimulus(params):
+        wave = bits_to_nrz(prbs7(220), BIT_RATE, amplitude=0.25,
+                           samples_per_bit=16)
+        return add_awgn(wave, 3e-3, seed=params["seed"])
+
+    batched = session.sweep(grid, stimulus)
+    serial = session.sweep(grid, stimulus, serial=True)
+    heights = batched.values(lambda r: r.eye.eye_height)
+    assert heights.shape == grid.shape
+    np.testing.assert_array_equal(
+        heights, serial.values(lambda r: r.eye.eye_height))
+    locks = batched.values(lambda r: float(r.cdr_locked))
+    np.testing.assert_array_equal(
+        locks, serial.values(lambda r: float(r.cdr_locked)))
+    assert np.all(locks == 1.0)
+
+
+def test_session_sweep_structural_rebuild_changes_the_chain():
+    session = LinkSession.from_configs(channel=ChannelConfig(0.2))
+    grid = ScenarioGrid([
+        SweepAxis("length_m", (0.1, 1.2), structural=True),
+        SweepAxis("seed", (1, 2)),
+    ])
+
+    def stimulus(params):
+        wave = bits_to_nrz(prbs7(200), BIT_RATE, amplitude=0.25,
+                           samples_per_bit=16)
+        return add_awgn(wave, 1e-3, seed=params["seed"])
+
+    heights = session.sweep(grid, stimulus).values(
+        lambda r: r.eye.eye_height)
+    # A 1.2 m backplane must close the eye relative to 0.1 m.
+    assert np.all(heights[0] > heights[1])
+
+
+def test_session_sweep_rejects_unknown_structural_axis():
+    session = LinkSession.from_configs()
+    grid = ScenarioGrid([SweepAxis("bogus_knob", (1, 2), structural=True),
+                         SweepAxis("seed", (1,))])
+    with pytest.raises(KeyError):
+        session.sweep(grid, lambda p: scenario_batch(1)[0])
+
+
+def test_session_sweep_structural_axes_require_configs():
+    session = LinkSession([GainBlock(1.0)], bit_rate=BIT_RATE)
+    grid = ScenarioGrid([SweepAxis("length_m", (0.1,), structural=True),
+                         SweepAxis("seed", (1,))])
+    with pytest.raises(ValueError):
+        session.sweep(grid, lambda p: scenario_batch(1)[0])
+
+
+# -- deprecated shims ---------------------------------------------------------
+
+def test_recover_batch_shim_warns_and_delegates():
+    batch = scenario_batch(2, amplitude=0.4)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE))
+    with pytest.warns(DeprecationWarning, match="recover_batch"):
+        old = cdr.recover_batch(batch)
+    new = stage(cdr).recover(batch)
+    np.testing.assert_array_equal(old.decisions, new.decisions)
+    np.testing.assert_array_equal(old.phase_track_ui, new.phase_track_ui)
+
+
+def test_equalize_batch_shims_warn_and_delegate():
+    batch = scenario_batch(2)
+    dfe = DecisionFeedbackEqualizer(taps=[0.02], bit_rate=BIT_RATE)
+    with pytest.warns(DeprecationWarning, match="equalize_batch"):
+        old_decisions, old_corrected = dfe.equalize_batch(batch)
+    new_decisions, new_corrected = stage(dfe).equalize(batch)
+    np.testing.assert_array_equal(old_decisions, new_decisions)
+    np.testing.assert_array_equal(old_corrected, new_corrected)
+    with pytest.warns(DeprecationWarning, match="inner_eye_height_batch"):
+        old_heights = dfe.inner_eye_height_batch(batch)
+    np.testing.assert_array_equal(old_heights,
+                                  stage(dfe).inner_eye_height(batch))
+
+
+def test_run_link_batch_shim_warns_and_delegates():
+    payload = b"shim"
+    with pytest.warns(DeprecationWarning, match="run_link_batch"):
+        old = run_link_batch(payload, analog_path=lambda w: w,
+                             training_commas=24, training_bytes=4)
+    assert old.n_scenarios == 1                # waveform path: 1-row batch
+    new = run_framed_link(payload, path=lambda w: w,
+                          training_commas=24, training_bytes=4)
+    assert old[0].payload_received == new.payload_received
+    assert old[0].cdr_slips == new.cdr_slips
+
+
+def test_repro_package_never_triggers_its_own_deprecations(recwarn):
+    """The repo is migrated: facade runs emit no DeprecationWarning."""
+    session = LinkSession.from_configs(tx=None, channel=None,
+                                       cdr=CdrConfig(bit_rate=BIT_RATE),
+                                       dfe=DfeConfig(taps=(0.02,)))
+    session.run_batch(scenario_batch(2))
+    session.run_framed(b"quiet", training_commas=24, training_bytes=4)
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+# -- public exports -----------------------------------------------------------
+
+def test_public_exports_cover_the_facade_and_kernel():
+    import repro
+    import repro.signals
+
+    for name in ("sample_uniform", "Stage", "stage", "LinkSession",
+                 "TxConfig", "ChannelConfig", "RxConfig", "DfeConfig",
+                 "LinkResult", "LinkBatchResult", "run_framed_link"):
+        assert name in repro.__all__, name
+        assert hasattr(repro, name), name
+    assert repro.sample_uniform is sample_uniform
+    assert repro.signals.sample_uniform is sample_uniform
+    # The kernel really is the shared interpolator.
+    out = sample_uniform(np.array([0.0, 1.0]), 0.0, 1.0, 0.5)
+    assert float(out) == 0.5

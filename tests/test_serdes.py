@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.link import run_framed_link
 from repro.serdes import (
     CodingError,
     Decoder8b10b,
@@ -13,7 +14,6 @@ from repro.serdes import (
     decode_bits,
     encode_bytes,
     run_link,
-    run_link_batch,
 )
 from repro.signals import WaveformBatch, add_awgn
 
@@ -221,9 +221,9 @@ def test_link_batch_rows_match_serial_run_link():
     payload = b"0123456789abcdef" * 2
     seeds = [1, 2, 3, 4]
     rms = 0.01
-    batch_report = run_link_batch(
+    batch_report = run_framed_link(
         payload,
-        analog_path=lambda w: WaveformBatch.with_noise_seeds(w, rms, seeds),
+        path=lambda w: WaveformBatch.with_noise_seeds(w, rms, seeds),
         training_commas=24, training_bytes=4,
     )
     assert batch_report.n_scenarios == len(seeds)
@@ -246,9 +246,9 @@ def test_link_batch_through_batch_transparent_receiver():
     from repro.core import build_input_interface
 
     rx = build_input_interface(equalizer_control_voltage=0.6)
-    report = run_link_batch(
+    report = run_framed_link(
         bytes(range(40)),
-        analog_path=lambda w: rx.process(
+        path=lambda w: rx.process(
             WaveformBatch.tiled(w * 0.04, 3)),
         training_commas=24, training_bytes=4,
     )
@@ -258,9 +258,8 @@ def test_link_batch_through_batch_transparent_receiver():
     assert np.all(report.slips() == 0)
 
 
-def test_link_batch_accepts_single_waveform_and_rejects_junk():
-    report = run_link_batch(b"single row", analog_path=lambda w: w)
-    assert report.n_scenarios == 1
-    assert report[0].error_free
+def test_framed_link_dispatches_single_waveform_and_rejects_junk():
+    report = run_framed_link(b"single row", path=lambda w: w)
+    assert report.error_free                  # waveform path: LinkReport
     with pytest.raises(TypeError):
-        run_link_batch(b"junk", analog_path=lambda w: w.data)
+        run_framed_link(b"junk", path=lambda w: w.data)
