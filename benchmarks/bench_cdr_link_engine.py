@@ -68,7 +68,7 @@ def make_batch(n_scenarios):
     return WaveformBatch.stack(waves)
 
 
-def test_batched_cdr_speedup_and_row_exactness(save_report):
+def test_batched_cdr_speedup_and_row_exactness(save_report, save_json):
     batch = make_batch(N_SCENARIOS)
     cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
 
@@ -95,6 +95,23 @@ def test_batched_cdr_speedup_and_row_exactness(save_report):
         "speedup (x)": speedup,
         "lock yield (%)": 100 * batched.lock_yield(),
     }]))
+    row_exact = all(
+        np.array_equal(batched.row(i).decisions, ref.decisions)
+        and np.array_equal(batched.row(i).phase_track_ui,
+                           ref.phase_track_ui)
+        and batched.row(i).slips == ref.slips
+        for i, ref in enumerate(serial)
+    )
+    save_json("cdr_link_engine", {
+        "scenarios": N_SCENARIOS,
+        "bits_per_scenario": N_BITS,
+        "serial_s": t_serial,
+        "batched_s": t_batched,
+        "speedup_x": speedup,
+        "row_exact": row_exact,
+        "lock_yield": batched.lock_yield(),
+        "speedup_floor_enforced": N_SCENARIOS >= 500,
+    })
 
     for i, reference in enumerate(serial):
         row = batched.row(i)

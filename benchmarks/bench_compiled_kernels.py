@@ -1,0 +1,302 @@
+"""Compiled bit-serial kernels + the fused chunked link pass.
+
+PRs 1-4 vectorized every layer across scenarios; the wall-clock floor
+left was the Python interpreter advancing the two bit-serial engines
+(bang-bang CDR, DFE) one bit-step at a time, and the memory ceiling was
+every stage materializing full ``(n_scenarios, n_samples)``
+intermediates.  This bench pins the contracts of the two answers:
+
+* **kernel backends** (``repro.kernels``): the numba-compiled per-row
+  loops must be *bit-identical* to the pure-NumPy batch engine on the
+  existing CDR/DFE contracts — decisions, phase tracks, votes, slips,
+  corrected samples — and >= 5x faster on the bit-serial stages at
+  full scale.  Without numba installed the NumPy fallback is timed
+  alone and the comparison is skipped (selection is silent by design).
+* **fused chunked pass** (``LinkSession.run_batch(chunk_rows=...)``):
+  streaming tx → rx → CDR/DFE in bounded row-chunks must be row-exact
+  vs the monolithic batch for uneven chunk boundaries, and a
+  100k-scenario synthetic batch must complete under a traced-memory
+  bound that the monolithic pass exceeds.
+
+``BENCH_KERNEL_SCENARIOS`` shrinks the speedup sections and
+``BENCH_KERNEL_MEMORY_SCENARIOS`` the memory section for CI smoke runs
+(row-exactness and the memory ordering are always enforced; the
+wall-clock floor only at full scale).
+"""
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.baselines import DecisionFeedbackEqualizer, dfe_taps_from_channel
+from repro.cdr import BangBangCdr, CdrConfig
+from repro.channel import BackplaneChannel
+from repro.link import ChannelConfig, DfeConfig, LinkSession, RxConfig, \
+    TxConfig, stage
+from repro.reporting import format_table
+from repro.signals import (
+    NrzEncoder,
+    RandomJitter,
+    WaveformBatch,
+    add_awgn,
+    bits_to_nrz,
+    prbs7,
+)
+
+BIT_RATE = 10e9
+N_SCENARIOS = int(os.environ.get("BENCH_KERNEL_SCENARIOS", "500"))
+N_MEMORY_SCENARIOS = int(
+    os.environ.get("BENCH_KERNEL_MEMORY_SCENARIOS", "100000"))
+N_BITS = 280
+SAMPLES_PER_BIT = 8
+COMPILED_SPEEDUP_FLOOR = 5.0
+
+HAVE_NUMBA = "numba" in kernels.available_backends()
+
+
+def make_cdr_batch(n_scenarios):
+    """One jittered + noisy PRBS waveform per scenario."""
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=SAMPLES_PER_BIT,
+                         amplitude=0.4)
+    bits = prbs7(N_BITS)
+    waves = []
+    for seed in range(1, n_scenarios + 1):
+        jitter = RandomJitter(3e-12, seed=seed)
+        wave = encoder.encode(bits,
+                              edge_offsets=jitter.offsets(N_BITS, BIT_RATE))
+        waves.append(add_awgn(wave, rms_volts=0.02, seed=seed))
+    return WaveformBatch.stack(waves)
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_kernel_backends_bit_exact_and_compiled_speedup(save_report,
+                                                        save_json):
+    """CDR + DFE bit-serial stages under every available backend."""
+    batch = make_cdr_batch(N_SCENARIOS)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
+    channel = BackplaneChannel(0.5)
+    received = channel.process(
+        bits_to_nrz(prbs7(N_BITS), BIT_RATE, amplitude=1.0,
+                    samples_per_bit=16))
+    dfe_batch = WaveformBatch.with_noise_seeds(
+        received, rms_volts=0.01,
+        seeds=list(range(1, N_SCENARIOS + 1)))
+    dfe = DecisionFeedbackEqualizer(
+        taps=dfe_taps_from_channel(channel, BIT_RATE, n_taps=3,
+                                   amplitude=1.0),
+        bit_rate=BIT_RATE)
+
+    timings = {}
+    results = {}
+    for name in ("numpy",) + (("numba",) if HAVE_NUMBA else ()):
+        with kernels.use_backend(name):
+            # Warm up: numba compiles on first call, numpy pays cache
+            # effects; both paths then time steady state.
+            stage(cdr).recover(batch[:2])
+            stage(dfe).equalize(dfe_batch[:2])
+            cdr_result, t_cdr = _time(lambda: stage(cdr).recover(batch))
+            dfe_result, t_dfe = _time(lambda: stage(dfe).equalize(dfe_batch))
+        timings[name] = {"cdr_s": t_cdr, "dfe_s": t_dfe}
+        results[name] = (cdr_result, dfe_result)
+
+    bit_exact = None
+    cdr_speedup = dfe_speedup = None
+    if HAVE_NUMBA:
+        ref_cdr, (ref_dec, ref_cor) = results["numpy"]
+        fast_cdr, (fast_dec, fast_cor) = results["numba"]
+        bit_exact = (
+            np.array_equal(fast_cdr.decisions, ref_cdr.decisions)
+            and np.array_equal(fast_cdr.phase_track_ui,
+                               ref_cdr.phase_track_ui, equal_nan=True)
+            and np.array_equal(fast_cdr.votes, ref_cdr.votes)
+            and np.array_equal(fast_cdr.slips, ref_cdr.slips)
+            and np.array_equal(fast_cdr.locked_at_bit, ref_cdr.locked_at_bit)
+            and np.array_equal(fast_cdr.n_bits, ref_cdr.n_bits)
+            and np.array_equal(fast_dec, ref_dec)
+            and np.array_equal(fast_cor, ref_cor)
+        )
+        cdr_speedup = timings["numpy"]["cdr_s"] / timings["numba"]["cdr_s"]
+        dfe_speedup = timings["numpy"]["dfe_s"] / timings["numba"]["dfe_s"]
+
+    save_report("compiled_kernels_speedup", format_table([
+        {
+            "backend": name,
+            "scenarios": N_SCENARIOS,
+            "CDR (s)": t["cdr_s"],
+            "DFE (s)": t["dfe_s"],
+        }
+        for name, t in timings.items()
+    ]))
+    save_json("compiled_kernels", {
+        "scenarios": N_SCENARIOS,
+        "bits_per_scenario": N_BITS,
+        "backends_timed": sorted(timings),
+        "timings_s": timings,
+        "numba_available": HAVE_NUMBA,
+        "bit_exact_across_backends": bit_exact,
+        "cdr_compiled_speedup_x": cdr_speedup,
+        "dfe_compiled_speedup_x": dfe_speedup,
+        "speedup_floor": COMPILED_SPEEDUP_FLOOR,
+        "speedup_floor_enforced": HAVE_NUMBA and N_SCENARIOS >= 500,
+    })
+
+    if HAVE_NUMBA:
+        assert bit_exact, (
+            "compiled kernels are not bit-identical to the NumPy batch "
+            "path"
+        )
+        # Row-exactness is always enforced; the wall-clock gate only at
+        # full scale (smoke runs time milliseconds, where scheduler
+        # noise would make the ratio meaningless).
+        if N_SCENARIOS >= 500:
+            assert cdr_speedup >= COMPILED_SPEEDUP_FLOOR, (
+                f"compiled CDR only {cdr_speedup:.1f}x over the NumPy "
+                f"batch path (need >= {COMPILED_SPEEDUP_FLOOR}x)"
+            )
+            assert dfe_speedup >= COMPILED_SPEEDUP_FLOOR, (
+                f"compiled DFE only {dfe_speedup:.1f}x over the NumPy "
+                f"batch path (need >= {COMPILED_SPEEDUP_FLOOR}x)"
+            )
+
+
+def _fused_session():
+    return LinkSession.from_configs(
+        TxConfig(), ChannelConfig(0.3), RxConfig(),
+        bit_rate=BIT_RATE,
+        cdr=CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5),
+        dfe=DfeConfig(taps=(0.05, 0.02)),
+    )
+
+
+def test_fused_chunked_pass_row_exact(save_report, save_json):
+    """Chunked streaming vs the monolithic pass: exact rows, same cost."""
+    n = max(24, N_SCENARIOS // 5)
+    batch = make_cdr_batch(n)
+    session = _fused_session()
+
+    session.run_batch(batch[:2])  # warm
+    mono, t_mono = _time(lambda: session.run_batch(batch))
+    # An uneven chunk size exercises the ragged final chunk.
+    chunk_rows = max(1, n // 7) * 2 + 1
+    chunked, t_chunked = _time(
+        lambda: session.run_batch(batch, chunk_rows=chunk_rows))
+
+    row_exact = (
+        np.array_equal(chunked.output.data, mono.output.data)
+        and chunked.eyes == mono.eyes
+        and np.array_equal(chunked.cdr.decisions, mono.cdr.decisions)
+        and np.array_equal(chunked.cdr.phase_track_ui,
+                           mono.cdr.phase_track_ui, equal_nan=True)
+        and np.array_equal(chunked.cdr.locked_at_bit,
+                           mono.cdr.locked_at_bit)
+        and np.array_equal(chunked.cdr.slips, mono.cdr.slips)
+        and np.array_equal(chunked.dfe_decisions, mono.dfe_decisions)
+        and np.array_equal(chunked.dfe_corrected, mono.dfe_corrected)
+    )
+    overhead = t_chunked / t_mono - 1.0
+    save_report("fused_chunked_pass", format_table([{
+        "scenarios": n,
+        "chunk rows": chunk_rows,
+        "monolithic (s)": t_mono,
+        "chunked (s)": t_chunked,
+        "chunk overhead (%)": 100 * overhead,
+    }]))
+    save_json("fused_chunked_pass", {
+        "scenarios": n,
+        "chunk_rows": chunk_rows,
+        "monolithic_s": t_mono,
+        "chunked_s": t_chunked,
+        "chunk_overhead_fraction": overhead,
+        "row_exact": row_exact,
+    })
+    assert row_exact, "chunked fused pass diverged from the monolithic run"
+
+
+def test_chunked_pass_memory_ceiling(save_report, save_json):
+    """A 100k-scenario batch fits chunked where the monolithic pass
+    cannot.
+
+    Traced allocation peaks (``tracemalloc``, which numpy reports
+    into) are compared against one bound: the chunked streaming pass
+    must stay under it, the monolithic pass must exceed it — the bound
+    is set below the size of a *single* full ``(n_scenarios,
+    n_samples)`` stage intermediate, which the monolithic pass cannot
+    avoid materializing and the chunked pass never builds.
+    """
+    n = N_MEMORY_SCENARIOS
+    n_bits = 24
+    wave = bits_to_nrz(prbs7(n_bits), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=SAMPLES_PER_BIT)
+    batch = WaveformBatch.tiled(wave, n)
+    # Cheap synthetic analog chain: full-size intermediates without
+    # lfilter cost, so the bench isolates memory behavior.
+    session = LinkSession(
+        stages=[lambda b: b * 0.9, lambda b: b.clip(-1.0, 1.0)],
+        bit_rate=BIT_RATE,
+        cdr=CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5),
+        dfe=DfeConfig(taps=(0.08, 0.03)),
+        measure_eye=False,
+    )
+    chunk_rows = max(64, n // 50)
+    full_stage_bytes = batch.data.nbytes
+    bound_bytes = int(0.75 * full_stage_bytes)
+
+    session.run_batch(batch[:2])  # warm caches outside the trace
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        chunked = session.run_batch(batch, chunk_rows=chunk_rows,
+                                    keep_output=False)
+        _, peak_chunked = tracemalloc.get_traced_memory()
+        spot_rows = [0, n // 2, n - 1]
+        spot_decisions = [chunked.cdr.decisions[i].copy()
+                          for i in spot_rows]
+        del chunked
+        tracemalloc.reset_peak()
+        mono = session.run_batch(batch, keep_output=False)
+        _, peak_mono = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    for i, decisions in zip(spot_rows, spot_decisions):
+        np.testing.assert_array_equal(
+            decisions, mono.cdr.decisions[i],
+            err_msg=f"chunked row {i} diverged from monolithic")
+
+    save_report("chunked_memory_ceiling", format_table([{
+        "scenarios": n,
+        "chunk rows": chunk_rows,
+        "stage array (MB)": full_stage_bytes / 1e6,
+        "bound (MB)": bound_bytes / 1e6,
+        "chunked peak (MB)": peak_chunked / 1e6,
+        "monolithic peak (MB)": peak_mono / 1e6,
+    }]))
+    save_json("chunked_memory_ceiling", {
+        "scenarios": n,
+        "chunk_rows": chunk_rows,
+        "stage_array_bytes": full_stage_bytes,
+        "bound_bytes": bound_bytes,
+        "chunked_peak_bytes": peak_chunked,
+        "monolithic_peak_bytes": peak_mono,
+        "chunked_under_bound": peak_chunked < bound_bytes,
+        "monolithic_over_bound": peak_mono > bound_bytes,
+    })
+    assert peak_chunked < bound_bytes, (
+        f"chunked pass peaked at {peak_chunked / 1e6:.0f} MB, over the "
+        f"{bound_bytes / 1e6:.0f} MB bound"
+    )
+    assert peak_mono > bound_bytes, (
+        f"monolithic pass peaked at only {peak_mono / 1e6:.0f} MB; the "
+        "bound no longer separates the two paths"
+    )
+    assert peak_mono > peak_chunked * 2, (
+        "chunking no longer reduces peak memory materially"
+    )

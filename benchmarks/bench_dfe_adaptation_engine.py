@@ -68,7 +68,7 @@ def make_dfe(n_taps=3):
     return DecisionFeedbackEqualizer(taps=taps, bit_rate=BIT_RATE)
 
 
-def test_batched_dfe_speedup_and_row_exactness(save_report):
+def test_batched_dfe_speedup_and_row_exactness(save_report, save_json):
     batch = make_batch(N_SCENARIOS)
     dfe = make_dfe()
 
@@ -97,6 +97,22 @@ def test_batched_dfe_speedup_and_row_exactness(save_report):
         "speedup (x)": speedup,
         "open inner eyes (%)": 100 * float(np.mean(heights > 0)),
     }]))
+    row_exact = all(
+        np.array_equal(decisions[i], ref_decisions)
+        and np.array_equal(corrected[i], ref_corrected)
+        for i, (ref_decisions, ref_corrected) in enumerate(serial)
+    )
+    save_json("dfe_adaptation_engine", {
+        "scenarios": N_SCENARIOS,
+        "bits_per_scenario": N_BITS,
+        "taps": len(dfe.taps),
+        "serial_s": t_serial,
+        "batched_s": t_batched,
+        "speedup_x": speedup,
+        "row_exact": row_exact,
+        "open_inner_eye_fraction": float(np.mean(heights > 0)),
+        "speedup_floor_enforced": N_SCENARIOS >= 500,
+    })
 
     for i, (ref_decisions, ref_corrected) in enumerate(serial):
         np.testing.assert_array_equal(decisions[i], ref_decisions,

@@ -5,13 +5,23 @@ the rows/series to stdout AND archives them under
 ``benchmarks/output/`` so paper-vs-measured comparisons survive the run.
 Timing is collected with pytest-benchmark (rounds kept small — these
 are simulations, not microbenchmarks).
+
+Perf-contract benches additionally persist their headline numbers
+(scenario counts, wall-clock times, speedups, row-exactness booleans)
+as ``BENCH_*.json`` artifacts under ``benchmarks/results/`` — a
+*committed* directory, unlike the gitignored ``output/`` — so the perf
+trajectory stays reviewable across PRs instead of living only in
+commit messages.
 """
 
+import json
 import pathlib
+import platform
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +39,35 @@ def save_report(report_dir):
         path.write_text(text + "\n")
         print(f"\n=== {name} ===")
         print(text)
+
+    return _save
+
+
+@pytest.fixture()
+def save_json():
+    """Persist one bench's metrics as ``benchmarks/results/BENCH_<name>.json``.
+
+    The payload must be JSON-serializable; an environment stamp
+    (python/numpy versions, kernel backend) is added so results from
+    different machines/PRs stay comparable.
+    """
+
+    def _save(name: str, payload: dict) -> None:
+        import numpy
+        from repro import kernels
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stamped = {
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": numpy.__version__,
+                "kernel_backend": kernels.backend_name(),
+            },
+            **payload,
+        }
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench artifact] {path}")
 
     return _save
 

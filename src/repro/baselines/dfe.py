@@ -14,9 +14,11 @@ Two execution paths share one set of kernels, mirroring the CDR layer:
 
 * :meth:`DecisionFeedbackEqualizer.equalize` — the serial reference,
   one scalar decision history per waveform;
-* the batched kernel — N scenarios advanced together, one bit-step at
-  a time, with per-row decision history and vectorized interpolation
-  sampling; reached through ``repro.link`` (``stage(dfe).equalize`` or
+* the batched kernel — N scenarios advanced together through the
+  bit-serial backend selected by :mod:`repro.kernels` (numba-compiled
+  per-row loops when available, the vectorized one-bit-step-at-a-time
+  NumPy engine otherwise; both bit-exact), with per-row decision
+  history; reached through ``repro.link`` (``stage(dfe).equalize`` or
   :class:`~repro.link.LinkSession`), with the deprecated
   ``equalize_batch`` shim delegating to the same code.
 
@@ -34,6 +36,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..analysis.isi import pulse_response
 from ..lti.blocks import Block
 from ..signals.batch import WaveformBatch
@@ -137,7 +140,13 @@ class DecisionFeedbackEqualizer:
             # The shared interpolation kernel clamps at the grid edge,
             # guarding the last-sample instant against float round-up.
             raw = float(sample_uniform(data, 0.0, 1.0, index))
-            value = raw - float(np.sum(self.taps * history))
+            # Tap-index-order accumulation: the exact summation order
+            # every repro.kernels backend uses, so serial == batched
+            # bit for bit at any tap count.
+            feedback = 0.0
+            for weight, past in zip(self.taps, history):
+                feedback += weight * past
+            value = raw - feedback
             corrected[k] = value
             bit = 1 if value > 0 else 0
             decisions[k] = bit
@@ -165,32 +174,23 @@ class DecisionFeedbackEqualizer:
 
     def _equalize_batch(self, batch: WaveformBatch
                         ) -> Tuple[np.ndarray, np.ndarray]:
-        """Run N independent DFEs over a batch, one bit-step at a time.
+        """Run N independent DFEs over a batch through the kernel layer.
 
-        Per-row decision history, vectorized interpolation sampling and
-        feedback subtraction; returns ``(decisions, corrected)`` of
-        shape ``(n_scenarios, n_bits)``.  Row ``i`` matches
-        ``equalize(batch[i])`` exactly — same sampling kernel, same
-        subtraction and update order.
+        The bit-serial recurrence (per-row decision history, shared
+        interpolation sampling, feedback subtraction) executes on the
+        backend selected by :mod:`repro.kernels`; returns
+        ``(decisions, corrected)`` of shape ``(n_scenarios, n_bits)``.
+        Row ``i`` matches ``equalize(batch[i])`` exactly on every
+        backend — same sampling kernel, same subtraction and update
+        order.
         """
         ui_samples = batch.sample_rate / self.bit_rate
         n_bits = self._n_bits(batch.n_samples, ui_samples)
-        n_rows = batch.n_scenarios
-        decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
-        corrected = np.zeros((n_rows, n_bits))
-        history = np.zeros((n_rows, len(self.taps)))
-        data = batch.data
-        for k in range(n_bits):
-            index = (k + self.sample_phase_ui) * ui_samples
-            raw = sample_uniform(data, 0.0, 1.0, index)
-            values = raw - np.sum(self.taps * history, axis=-1)
-            corrected[:, k] = values
-            bits = values > 0
-            decisions[:, k] = bits
-            history[:, 1:] = history[:, :-1]
-            history[:, 0] = np.where(bits, self.decision_amplitude,
-                                     -self.decision_amplitude)
-        return decisions, corrected
+        backend = kernels.get_backend()
+        return backend.dfe_equalize_batch(
+            batch.data, np.asarray(self.taps, dtype=float), ui_samples,
+            self.sample_phase_ui, self.decision_amplitude, n_bits,
+        )
 
     def inner_eye_height(self, wave: Waveform,
                          skip_bits: int = 16) -> float:

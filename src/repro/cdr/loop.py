@@ -13,11 +13,13 @@ Two execution paths share one set of kernels:
 
 * :meth:`BangBangCdr.recover` — the serial reference, one scalar loop
   state per waveform;
-* the batched kernel — N loops advanced together, one bit-step at a
-  time, with per-row phase/integral/slip state and vectorized sampling
-  and votes; reached through ``repro.link`` (``stage(cdr).recover`` or
-  :class:`~repro.link.LinkSession`), with the deprecated
-  ``recover_batch`` shim delegating to the same code.
+* the batched kernel — N loops advanced together through the
+  bit-serial backend selected by :mod:`repro.kernels` (numba-compiled
+  per-row loops when available, the vectorized one-bit-step-at-a-time
+  NumPy engine otherwise; both bit-exact), with per-row
+  phase/integral/slip state; reached through ``repro.link``
+  (``stage(cdr).recover`` or :class:`~repro.link.LinkSession`), with
+  the deprecated ``recover_batch`` shim delegating to the same code.
 
 Row ``i`` of a batch run is bit-identical to the serial run of
 ``batch[i]``: both paths sample through
@@ -37,6 +39,7 @@ import warnings
 
 import numpy as np
 
+from .. import kernels
 from ..signals.batch import WaveformBatch
 from ..signals.waveform import Waveform, sample_uniform
 from .phase_detector import vote_step
@@ -155,6 +158,35 @@ class CdrBatchResult:
     def rows(self) -> list:
         """Every scenario unpacked (see :meth:`row`)."""
         return [self.row(i) for i in range(self.n_scenarios)]
+
+    @classmethod
+    def concatenate(cls, parts: "list[CdrBatchResult]") -> "CdrBatchResult":
+        """Stack row-chunks back into one batch result.
+
+        All parts must come from the same loop over same-duration
+        waveforms (equal ``total_bits``), which is exactly what the
+        chunked :meth:`~repro.link.LinkSession.run_batch` fast path
+        produces; per-row values are untouched, so concatenation
+        preserves row-exactness.
+        """
+        if not parts:
+            raise ValueError("cannot concatenate zero CdrBatchResults")
+        if len(parts) == 1:
+            return parts[0]
+        widths = {part.decisions.shape[1] for part in parts}
+        if len(widths) != 1:
+            raise ValueError(
+                f"chunks disagree on total_bits: {sorted(widths)}"
+            )
+        return cls(
+            decisions=np.concatenate([p.decisions for p in parts], axis=0),
+            phase_track_ui=np.concatenate(
+                [p.phase_track_ui for p in parts], axis=0),
+            votes=np.concatenate([p.votes for p in parts], axis=0),
+            locked_at_bit=np.concatenate([p.locked_at_bit for p in parts]),
+            slips=np.concatenate([p.slips for p in parts]),
+            n_bits=np.concatenate([p.n_bits for p in parts]),
+        )
 
     def recovered_jitter_ui(self) -> np.ndarray:
         """Per-row post-lock RMS phase wander (NaN where unlocked)."""
@@ -288,17 +320,13 @@ class BangBangCdr:
         ``initial_frequency_ppm`` optionally override the starting state
         per row (for lock-time or pull-in yield studies).  Row ``i``
         matches ``recover(batch[i])`` (with the matching config) exactly
-        — same sampling kernel, same update order, same wrap handling.
+        — same sampling kernel, same update order, same wrap handling —
+        on every :mod:`repro.kernels` backend.
         """
         config = self.config
         ui = 1.0 / config.bit_rate
         total_bits = self._usable_bits(batch.duration, n_bits)
         n_rows = batch.n_scenarios
-
-        data = batch.data
-        t0 = batch.t0
-        sample_rate = batch.sample_rate
-        t_last = batch.time[-1]
 
         def _state(override, default):
             if override is None:
@@ -314,63 +342,16 @@ class BangBangCdr:
         phase = _state(initial_phase_ui, config.initial_phase_ui)
         integral = _state(initial_frequency_ppm,
                           config.initial_frequency_ppm) * 1e-6
-        bit_offset = np.zeros(n_rows, dtype=np.int64)
-        slips = np.zeros(n_rows, dtype=np.int64)
-        active = np.ones(n_rows, dtype=bool)
-        row_bits = np.full(n_rows, total_bits, dtype=np.int64)
 
-        decisions = np.zeros((n_rows, total_bits), dtype=np.int8)
-        phases = np.empty((n_rows, total_bits))
-        votes = np.zeros((n_rows, total_bits), dtype=np.int8)
-        previous_data = None
-        previous_edge = None
+        backend = kernels.get_backend()
+        decisions, phases, votes, slips, row_bits = \
+            backend.cdr_recover_batch(
+                batch.data, batch.t0, batch.sample_rate,
+                float(batch.time[-1]), ui, config.kp, config.ki,
+                phase, integral, total_bits,
+            )
 
-        for k in range(total_bits):
-            t_data = (k + 0.5 + bit_offset + phase) * ui
-            t_edge = (k + 1.0 + bit_offset + phase) * ui
-            ending = active & (t_edge >= t_last)
-            if ending.any():
-                row_bits[ending] = k
-                active = active & ~ending
-                if not active.any():
-                    break
-            sample_data = sample_uniform(data, t0, sample_rate, t_data)
-            sample_edge = sample_uniform(data, t0, sample_rate, t_edge)
-            decisions[:, k] = sample_data > 0
-            phases[:, k] = phase
-
-            if k > 0:
-                votes_k = vote_step(previous_data, previous_edge,
-                                    sample_data)
-                votes[:, k] = votes_k
-                new_integral = integral + config.ki * votes_k
-                new_phase = phase + (config.kp * votes_k + new_integral)
-                integral = np.where(active, new_integral, integral)
-                phase = np.where(active, new_phase, phase)
-                wrap_up = active & (phase > 1.0)
-                wrap_down = active & (phase < -1.0)
-                phase[wrap_up] -= 1.0
-                bit_offset[wrap_up] += 1
-                slips[wrap_up] += 1
-                phase[wrap_down] += 1.0
-                bit_offset[wrap_down] -= 1
-                slips[wrap_down] -= 1
-            previous_data = sample_data
-            previous_edge = sample_edge
-
-        # Rows that ran out of waveform: blank everything past their
-        # last valid bit so the rectangular arrays cannot leak the
-        # garbage computed while other rows were still running.
-        tail = np.arange(total_bits)[np.newaxis, :] >= row_bits[:, np.newaxis]
-        decisions[tail] = 0
-        votes[tail] = 0
-        phases[tail] = np.nan
-
-        locked_at = np.array(
-            [self._detect_lock(phases[i, :row_bits[i]])
-             for i in range(n_rows)],
-            dtype=np.int64,
-        )
+        locked_at = self._detect_lock_batch(phases, row_bits)
         return CdrBatchResult(decisions=decisions, phase_track_ui=phases,
                               votes=votes, locked_at_bit=locked_at,
                               slips=slips, n_bits=row_bits)
@@ -396,3 +377,40 @@ class BangBangCdr:
         hits = np.nonzero((window_ptp < tolerance_ui)
                           & (suffix_ptp < 2 * tolerance_ui))[0]
         return int(hits[0]) if len(hits) else -1
+
+    @staticmethod
+    def _detect_lock_batch(phases: np.ndarray, row_bits: np.ndarray,
+                           window: int = 64,
+                           tolerance_ui: float = 0.05) -> np.ndarray:
+        """:meth:`_detect_lock` for every row of a batch in one pass.
+
+        ``phases`` is the rectangular ``(n_rows, total_bits)`` track
+        with NaN tails past ``row_bits[row]``; the NaNs make the 2-D
+        sliding-window and suffix reductions self-masking (any window
+        or suffix touching a tail compares False), so no per-row Python
+        loop is needed.  Row ``i`` equals
+        ``_detect_lock(phases[i, :row_bits[i]])`` exactly.
+        """
+        n_rows, total_bits = phases.shape
+        row_bits = np.asarray(row_bits, dtype=np.int64)
+        locked = np.full(n_rows, -1, dtype=np.int64)
+        if total_bits < 2 * window:
+            return locked
+        windows = np.lib.stride_tricks.sliding_window_view(
+            phases, window, axis=-1)
+        window_ptp = np.ptp(windows, axis=-1)
+        # Suffix peak-to-peak via NaN-ignoring right-to-left cumulative
+        # extrema: positions past a row's valid span stay NaN and fail
+        # every comparison, mirroring the serial truncation.
+        suffix_max = np.fmax.accumulate(phases[:, ::-1], axis=-1)[:, ::-1]
+        suffix_min = np.fmin.accumulate(phases[:, ::-1], axis=-1)[:, ::-1]
+        n_windows = window_ptp.shape[1]
+        suffix_ptp = (suffix_max - suffix_min)[:, :n_windows]
+        columns = np.arange(n_windows)[np.newaxis, :]
+        valid = (columns < (row_bits - window)[:, np.newaxis]) \
+            & (row_bits >= 2 * window)[:, np.newaxis]
+        hits = (window_ptp < tolerance_ui) \
+            & (suffix_ptp < 2 * tolerance_ui) & valid
+        any_hit = hits.any(axis=1)
+        locked[any_hit] = np.argmax(hits[any_hit], axis=1)
+        return locked

@@ -1,0 +1,203 @@
+"""Numba-compiled bit-serial kernels (the optional fast backend).
+
+Importing this module requires numba (``pip install .[fast]``); the
+package ``__init__`` turns the ImportError into either a silent fall
+back to the NumPy backend (default selection) or a clear error
+(``REPRO_KERNELS=numba`` forced).
+
+Each kernel runs the *serial reference* recurrence per row — compiled,
+and parallelized over rows with ``prange`` — instead of the NumPy
+backend's vectorized per-bit-step passes.  Both orderings perform the
+identical floating-point arithmetic per row (same expression order as
+``sample_uniform``/``vote_step``/the serial loops, no fastmath, no
+reassociation), so backends are bit-exact interchangeable; what changes
+is only who iterates: compiled machine code over ``rows x bits``
+instead of the Python interpreter over ``bits``.
+
+``cache=True`` persists compiled machine code next to the module (or
+under ``NUMBA_CACHE_DIR``), so repeated processes — CI legs, sweep
+workers — pay the compile cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+NAME = "numba"
+
+
+@njit(cache=True, inline="always")
+def _sample_row(row, t0, sample_rate, t):
+    """Scalar twin of ``sample_uniform``: clamp, floor, lerp.
+
+    Expression order matches the NumPy kernel exactly:
+    ``x = (t - t0) * rate``, clamp to ``[0, n-1]``, truncate, clamp the
+    base index to ``n - 2``, then ``d0 + frac * (d1 - d0)``.
+    """
+    n = row.shape[0]
+    x = (t - t0) * sample_rate
+    if x < 0.0:
+        x = 0.0
+    top = float(n - 1)
+    if x > top:
+        x = top
+    i0 = np.int64(x)
+    if i0 > n - 2:
+        i0 = n - 2
+    frac = x - i0
+    d0 = row[i0]
+    return d0 + frac * (row[i0 + 1] - d0)
+
+
+@njit(cache=True, inline="always")
+def _slicer_sign(value):
+    """Decision-slicer sign: zero samples count as high."""
+    return 1.0 if value >= 0.0 else -1.0
+
+
+@njit(cache=True, parallel=True)
+def _cdr_kernel(data, t0, sample_rate, t_last, ui, kp, ki,
+                phase0, integral0, total_bits,
+                decisions, phases, votes, slips, row_bits):
+    n_rows = data.shape[0]
+    for r in prange(n_rows):
+        row = data[r]
+        phase = phase0[r]
+        integral = integral0[r]
+        bit_offset = 0
+        slip = 0
+        previous_data = 0.0
+        previous_edge = 0.0
+        n_valid = total_bits
+        for k in range(total_bits):
+            t_data = (k + 0.5 + bit_offset + phase) * ui
+            t_edge = (k + 1.0 + bit_offset + phase) * ui
+            if t_edge >= t_last:
+                n_valid = k
+                break
+            sample_data = _sample_row(row, t0, sample_rate, t_data)
+            sample_edge = _sample_row(row, t0, sample_rate, t_edge)
+            decisions[r, k] = 1 if sample_data > 0.0 else 0
+            phases[r, k] = phase
+            if k > 0:
+                # Alexander vote, same sign convention as vote_step.
+                a = _slicer_sign(previous_data)
+                b = _slicer_sign(sample_data)
+                t = _slicer_sign(previous_edge)
+                vote = 0
+                if a != b:
+                    if t == a:
+                        vote = 1    # EARLY
+                    elif t == b:
+                        vote = -1   # LATE
+                votes[r, k] = vote
+                integral = integral + ki * vote
+                phase = phase + (kp * vote + integral)
+                # A wrap across +-1 UI is a cycle slip: fold the whole
+                # bit into the index offset so the sampling instant
+                # stays continuous, and count it.
+                if phase > 1.0:
+                    phase -= 1.0
+                    bit_offset += 1
+                    slip += 1
+                elif phase < -1.0:
+                    phase += 1.0
+                    bit_offset -= 1
+                    slip -= 1
+            previous_data = sample_data
+            previous_edge = sample_edge
+        slips[r] = slip
+        row_bits[r] = n_valid
+        # Blank the tail exactly like the NumPy backend does.
+        for k in range(n_valid, total_bits):
+            decisions[r, k] = 0
+            votes[r, k] = 0
+            phases[r, k] = np.nan
+
+
+def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
+                      t_last: float, ui: float, kp: float, ki: float,
+                      phase: np.ndarray, integral: np.ndarray,
+                      total_bits: int):
+    """Compiled twin of the NumPy backend's ``cdr_recover_batch``."""
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    n_rows = data.shape[0]
+    decisions = np.zeros((n_rows, total_bits), dtype=np.int8)
+    phases = np.empty((n_rows, total_bits), dtype=np.float64)
+    votes = np.zeros((n_rows, total_bits), dtype=np.int8)
+    slips = np.zeros(n_rows, dtype=np.int64)
+    row_bits = np.full(n_rows, total_bits, dtype=np.int64)
+    _cdr_kernel(data, float(t0), float(sample_rate), float(t_last),
+                float(ui), float(kp), float(ki),
+                np.ascontiguousarray(phase, dtype=np.float64),
+                np.ascontiguousarray(integral, dtype=np.float64),
+                int(total_bits), decisions, phases, votes, slips, row_bits)
+    return decisions, phases, votes, slips, row_bits
+
+
+@njit(cache=True, parallel=True)
+def _dfe_kernel(data, taps, ui_samples, sample_phase_ui,
+                decision_amplitude, n_bits, decisions, corrected):
+    n_rows = data.shape[0]
+    n_taps = taps.shape[0]
+    for r in prange(n_rows):
+        row = data[r]
+        history = np.zeros(n_taps, dtype=np.float64)
+        for k in range(n_bits):
+            index = (k + sample_phase_ui) * ui_samples
+            raw = _sample_row(row, 0.0, 1.0, index)
+            # Tap-index-order accumulation: the exact summation order of
+            # the NumPy backend and the serial reference.
+            feedback = 0.0
+            for j in range(n_taps):
+                feedback = feedback + taps[j] * history[j]
+            value = raw - feedback
+            corrected[r, k] = value
+            bit = 1 if value > 0.0 else 0
+            decisions[r, k] = bit
+            for j in range(n_taps - 1, 0, -1):
+                history[j] = history[j - 1]
+            history[0] = decision_amplitude if bit else -decision_amplitude
+
+
+def dfe_equalize_batch(data: np.ndarray, taps: np.ndarray,
+                       ui_samples: float, sample_phase_ui: float,
+                       decision_amplitude: float, n_bits: int):
+    """Compiled twin of the NumPy backend's ``dfe_equalize_batch``."""
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    n_rows = data.shape[0]
+    decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
+    corrected = np.zeros((n_rows, n_bits), dtype=np.float64)
+    _dfe_kernel(data, np.ascontiguousarray(taps, dtype=np.float64),
+                float(ui_samples), float(sample_phase_ui),
+                float(decision_amplitude), int(n_bits),
+                decisions, corrected)
+    return decisions, corrected
+
+
+@njit(cache=True, parallel=True)
+def _sample_rows_kernel(data, t0, sample_rate, times, out):
+    for r in prange(data.shape[0]):
+        out[r] = _sample_row(data[r], t0, sample_rate, times[r])
+
+
+def sample_uniform(data: np.ndarray, t0: float, sample_rate: float,
+                   times) -> np.ndarray:
+    """Linear interpolation on a uniform grid.
+
+    The hot case — 2-D row stack, one instant per row, exactly what the
+    bit-serial loops issue every bit-step — runs compiled; every other
+    shape delegates to the NumPy kernel (identical arithmetic).
+    """
+    data_arr = np.asarray(data, dtype=np.float64)
+    times_arr = np.asarray(times, dtype=np.float64)
+    if data_arr.ndim == 2 and times_arr.shape == (data_arr.shape[0],) \
+            and data_arr.shape[1] >= 2:
+        out = np.empty(data_arr.shape[0], dtype=np.float64)
+        _sample_rows_kernel(np.ascontiguousarray(data_arr), float(t0),
+                            float(sample_rate),
+                            np.ascontiguousarray(times_arr), out)
+        return out
+    from ._numpy_backend import sample_uniform as _numpy_sample
+    return _numpy_sample(data, t0, sample_rate, times)

@@ -1,0 +1,185 @@
+"""Pure-NumPy bit-serial kernels (the always-available fallback).
+
+These are the PR 2/3 batch engines verbatim: every bit-step performs
+one vectorized pass over all rows — interpolated sampling, Alexander
+votes, per-row loop-state updates — so the Python interpreter runs
+``total_bits`` iterations instead of ``n_rows * total_bits``.
+
+The module is deliberately self-contained (NumPy only, no imports from
+the rest of ``repro``) so backend selection at any point of package
+import can never cycle.  The Alexander vote and the linear-interpolation
+sampler are re-implemented here with the exact expression order of
+``repro.cdr.phase_detector.vote_step`` and
+``repro.signals.waveform.sample_uniform``; the numba backend mirrors
+the same order scalar-by-scalar, which is what makes backends
+bit-exact interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NAME = "numpy"
+
+
+def sample_uniform(data: np.ndarray, t0: float, sample_rate: float,
+                   times) -> np.ndarray:
+    """Linear interpolation on a uniform grid, vectorized over rows.
+
+    Same contract and arithmetic as
+    :func:`repro.signals.waveform.sample_uniform` (clamped instants,
+    ``d0 + frac * (d1 - d0)``).
+    """
+    data = np.asarray(data, dtype=float)
+    n = data.shape[-1]
+    if n < 2:
+        raise ValueError(f"need at least 2 samples to interpolate, got {n}")
+    x = (np.asarray(times, dtype=float) - t0) * sample_rate
+    x = np.clip(x, 0.0, float(n - 1))
+    i0 = np.minimum(x.astype(np.int64), n - 2)
+    frac = x - i0
+    if data.ndim == 1:
+        d0 = data[i0]
+        d1 = data[i0 + 1]
+    elif data.ndim == 2:
+        n_rows = data.shape[0]
+        if i0.ndim >= 1 and i0.shape[0] != n_rows:
+            raise ValueError(
+                f"per-row instants must be scalar, ({n_rows},) or "
+                f"({n_rows}, m) for {n_rows} rows, got shape {i0.shape}"
+            )
+        rows = np.arange(n_rows)
+        if i0.ndim == 2:
+            rows = rows[:, np.newaxis]
+        elif i0.ndim == 0:
+            i0 = np.broadcast_to(i0, (n_rows,))
+            frac = np.broadcast_to(frac, (n_rows,))
+        d0 = data[rows, i0]
+        d1 = data[rows, i0 + 1]
+    else:
+        raise ValueError(f"data must be 1-D or 2-D, got shape {data.shape}")
+    return d0 + frac * (d1 - d0)
+
+
+def _vote_step(previous_data: np.ndarray, samples_edge: np.ndarray,
+               samples_data: np.ndarray) -> np.ndarray:
+    """One Alexander vote per row (sign convention: zero counts high)."""
+    def sign(values):
+        signs = np.sign(values)
+        signs[signs == 0] = 1
+        return signs
+
+    a = sign(previous_data)
+    b = sign(samples_data)
+    t = sign(samples_edge)
+    transition = a != b
+    votes = np.zeros(np.shape(t), dtype=np.int8)
+    votes[transition & (t == a)] = 1     # EARLY
+    votes[transition & (t == b)] = -1    # LATE
+    return votes
+
+
+def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
+                      t_last: float, ui: float, kp: float, ki: float,
+                      phase: np.ndarray, integral: np.ndarray,
+                      total_bits: int):
+    """Advance N bang-bang loops together, one bit-step at a time.
+
+    Parameters mirror the loop state of
+    :meth:`repro.cdr.BangBangCdr.recover`: per-row ``phase`` (UI) and
+    ``integral`` (fractional frequency) starting states, shared
+    ``kp``/``ki`` gains.  Returns ``(decisions, phases, votes, slips,
+    row_bits)`` with rows that ran out of waveform blanked past their
+    last valid bit (0 decisions/votes, NaN phases).
+    """
+    data = np.asarray(data, dtype=float)
+    n_rows = data.shape[0]
+    phase = np.array(phase, dtype=float)
+    integral = np.array(integral, dtype=float)
+    bit_offset = np.zeros(n_rows, dtype=np.int64)
+    slips = np.zeros(n_rows, dtype=np.int64)
+    active = np.ones(n_rows, dtype=bool)
+    row_bits = np.full(n_rows, total_bits, dtype=np.int64)
+
+    decisions = np.zeros((n_rows, total_bits), dtype=np.int8)
+    phases = np.empty((n_rows, total_bits))
+    votes = np.zeros((n_rows, total_bits), dtype=np.int8)
+    previous_data = None
+    previous_edge = None
+
+    for k in range(total_bits):
+        t_data = (k + 0.5 + bit_offset + phase) * ui
+        t_edge = (k + 1.0 + bit_offset + phase) * ui
+        ending = active & (t_edge >= t_last)
+        if ending.any():
+            row_bits[ending] = k
+            active = active & ~ending
+            if not active.any():
+                break
+        sample_data = sample_uniform(data, t0, sample_rate, t_data)
+        sample_edge = sample_uniform(data, t0, sample_rate, t_edge)
+        decisions[:, k] = sample_data > 0
+        phases[:, k] = phase
+
+        if k > 0:
+            votes_k = _vote_step(previous_data, previous_edge, sample_data)
+            votes[:, k] = votes_k
+            new_integral = integral + ki * votes_k
+            new_phase = phase + (kp * votes_k + new_integral)
+            integral = np.where(active, new_integral, integral)
+            phase = np.where(active, new_phase, phase)
+            # A wrap across +-1 UI is a cycle slip: fold the whole bit
+            # into the index offset so the sampling instant (and the
+            # decision sequence) stays continuous, and count it.
+            wrap_up = active & (phase > 1.0)
+            wrap_down = active & (phase < -1.0)
+            phase[wrap_up] -= 1.0
+            bit_offset[wrap_up] += 1
+            slips[wrap_up] += 1
+            phase[wrap_down] += 1.0
+            bit_offset[wrap_down] -= 1
+            slips[wrap_down] -= 1
+        previous_data = sample_data
+        previous_edge = sample_edge
+
+    # Rows that ran out of waveform: blank everything past their last
+    # valid bit so the rectangular arrays cannot leak the garbage
+    # computed while other rows were still running.
+    tail = np.arange(total_bits)[np.newaxis, :] >= row_bits[:, np.newaxis]
+    decisions[tail] = 0
+    votes[tail] = 0
+    phases[tail] = np.nan
+    return decisions, phases, votes, slips, row_bits
+
+
+def dfe_equalize_batch(data: np.ndarray, taps: np.ndarray,
+                       ui_samples: float, sample_phase_ui: float,
+                       decision_amplitude: float, n_bits: int):
+    """Advance N decision-feedback loops together, one bit per step.
+
+    Returns ``(decisions, corrected)`` of shape ``(n_rows, n_bits)``.
+    The feedback dot product accumulates tap by tap in index order —
+    the same order the numba backend and the serial reference use — so
+    the result is bit-exact across backends for any tap count.
+    """
+    data = np.asarray(data, dtype=float)
+    taps = np.asarray(taps, dtype=float)
+    n_rows = data.shape[0]
+    n_taps = len(taps)
+    decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
+    corrected = np.zeros((n_rows, n_bits))
+    history = np.zeros((n_rows, n_taps))
+    for k in range(n_bits):
+        index = (k + sample_phase_ui) * ui_samples
+        raw = sample_uniform(data, 0.0, 1.0, index)
+        feedback = np.zeros(n_rows)
+        for j in range(n_taps):
+            feedback = feedback + taps[j] * history[:, j]
+        values = raw - feedback
+        corrected[:, k] = values
+        bits = values > 0
+        decisions[:, k] = bits
+        history[:, 1:] = history[:, :-1]
+        history[:, 0] = np.where(bits, decision_amplitude,
+                                 -decision_amplitude)
+    return decisions, corrected

@@ -11,6 +11,9 @@ through the same batched kernels:
 * :meth:`LinkSession.run` — one waveform in, one :class:`LinkResult`;
 * :meth:`LinkSession.run_batch` — N scenarios in one pass, a
   :class:`LinkBatchResult` whose row ``i`` equals ``run(batch[i])``;
+  ``chunk_rows=...`` streams the chain in bounded row-chunks (peak
+  memory ``O(chunk_rows * n_samples)`` per stage, row-exact vs the
+  monolithic pass) so 100k+-scenario batches fit in memory;
 * :meth:`LinkSession.sweep` — a declarative
   :class:`~repro.sweep.grid.ScenarioGrid` executed by the
   :class:`~repro.sweep.runner.SweepRunner`, structural axes rebuilding
@@ -206,6 +209,50 @@ class LinkBatchResult:
     def __iter__(self):
         return iter(self.rows())
 
+    @classmethod
+    def concatenate(cls, parts: "List[LinkBatchResult]"
+                    ) -> "LinkBatchResult":
+        """Stack row-chunks back into one batch result.
+
+        The chunked :meth:`LinkSession.run_batch` fast path measures
+        bounded row-chunks independently and reassembles them here;
+        per-row values are untouched, so the concatenation is row-exact
+        against the monolithic pass.  All parts must carry the same
+        measurement set (same session configuration).
+        """
+        if not parts:
+            raise ValueError("cannot concatenate zero LinkBatchResults")
+        if len(parts) == 1:
+            return parts[0]
+        first = parts[0]
+        for part in parts[1:]:
+            if ((part.eyes is None) != (first.eyes is None)
+                    or (part.cdr is None) != (first.cdr is None)
+                    or (part.dfe_decisions is None)
+                    != (first.dfe_decisions is None)):
+                raise ValueError(
+                    "chunks carry different measurement sets; they must "
+                    "come from one session configuration"
+                )
+        output = WaveformBatch(
+            np.concatenate([part.output.data for part in parts], axis=0),
+            first.output.sample_rate, t0=first.output.t0)
+        eyes = (None if first.eyes is None
+                else [eye for part in parts for eye in part.eyes])
+        cdr = (None if first.cdr is None
+               else CdrBatchResult.concatenate([part.cdr for part in parts]))
+
+        def cat(field: str):
+            arrays = [getattr(part, field) for part in parts]
+            if arrays[0] is None:
+                return None
+            return np.concatenate(arrays, axis=0)
+
+        return cls(output=output, eyes=eyes, cdr=cdr,
+                   dfe_decisions=cat("dfe_decisions"),
+                   dfe_corrected=cat("dfe_corrected"),
+                   dfe_inner_eye_heights=cat("dfe_inner_eye_heights"))
+
     def eye_heights(self) -> np.ndarray:
         """Per-scenario vertical eye openings."""
         if self.eyes is None:
@@ -356,17 +403,58 @@ class LinkSession:
             )
         return result.row(0)
 
-    def run_batch(self, batch) -> LinkBatchResult:
+    def run_batch(self, batch, *, chunk_rows: Optional[int] = None,
+                  keep_output: bool = True) -> LinkBatchResult:
         """N scenarios in one batched pass.
 
         Accepts a :class:`WaveformBatch`, a single waveform (one-row
         batch), or a sequence of compatible waveforms (stacked).
+
+        ``chunk_rows`` enables the fused chunked fast path: the batch
+        streams tx → channel → rx → CDR/DFE in bounded row-chunks, so
+        every stage's intermediate arrays peak at
+        ``O(chunk_rows * n_samples)`` instead of
+        ``O(n_scenarios * n_samples)`` — the difference between a
+        100k-scenario Monte Carlo fitting in memory and OOMing.  Chunks
+        are measured independently and reassembled row-exactly
+        (:meth:`LinkBatchResult.concatenate`): every kernel in the
+        chain is row-independent, so ``run_batch(batch, chunk_rows=c)``
+        equals ``run_batch(batch)`` for any ``c``.
+
+        ``keep_output=False`` additionally drops the processed
+        waveforms from the result (the returned ``output`` batch has
+        zero samples per row), keeping only the configured measurements
+        — for large sweeps the received waveforms dominate the result's
+        footprint and are rarely wanted.  See
+        ``benchmarks/bench_compiled_kernels.py`` for the measured
+        crossover: chunking costs a few percent below ~1k scenarios
+        and is the only way to complete ≥100k.
         """
         if isinstance(batch, Waveform):
             batch = _lift(batch)[0]
         elif not isinstance(batch, WaveformBatch):
             batch = WaveformBatch.stack(list(batch))
-        return self._run(batch)
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if chunk_rows is None or chunk_rows >= batch.n_scenarios:
+            return self._finish(self._run(batch), keep_output)
+        parts = [
+            self._finish(self._run(batch[start:start + chunk_rows]),
+                         keep_output)
+            for start in range(0, batch.n_scenarios, chunk_rows)
+        ]
+        return LinkBatchResult.concatenate(parts)
+
+    @staticmethod
+    def _finish(result: LinkBatchResult, keep_output: bool
+                ) -> LinkBatchResult:
+        """Optionally drop the waveforms, keeping the measurements."""
+        if keep_output:
+            return result
+        empty = WaveformBatch(
+            np.empty((result.output.n_scenarios, 0)),
+            result.output.sample_rate, t0=result.output.t0)
+        return dataclasses.replace(result, output=empty)
 
     # -- sweeps ------------------------------------------------------------
     def sweep(self, grid: ScenarioGrid,
@@ -374,6 +462,7 @@ class LinkSession:
               measure: Optional[Callable[[WaveformBatch, List[Dict]],
                                          Sequence]] = None,
               processes: Optional[int] = None,
+              chunk_rows: Optional[int] = None,
               serial: bool = False) -> SweepResult:
         """Execute a scenario grid through the facade.
 
@@ -385,15 +474,20 @@ class LinkSession:
         measurement is the session's own :meth:`_analyze`, so each
         scenario's result is a :class:`LinkResult`; pass ``measure`` to
         record something else (it receives the processed batch and the
-        scenario parameter dicts).  ``serial=True`` runs the
-        per-waveform reference loop instead of the batched engine.
+        scenario parameter dicts).  ``chunk_rows`` bounds memory the
+        same way it does for :meth:`run_batch`: each structural point's
+        batchable scenarios stream through the chain in row-chunks of
+        at most that size, row-exact vs the monolithic pass.
+        ``serial=True`` runs the per-waveform reference loop instead of
+        the batched engine.
         """
         if measure is None:
             def measure(out: WaveformBatch, params: List[Dict]):
                 return self._analyze(out).rows()
         runner = SweepRunner(grid, stimulus=stimulus,
                              build=self._builder_for(grid),
-                             measure_batch=measure, processes=processes)
+                             measure_batch=measure, processes=processes,
+                             chunk_rows=chunk_rows)
         return runner.run_serial() if serial else runner.run()
 
     def _builder_for(self, grid: ScenarioGrid):

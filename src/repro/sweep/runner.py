@@ -192,6 +192,17 @@ class SweepRunner:
         structural axis out over a process pool (the callables must be
         picklable, i.e. module-level).  Batchable axes always run
         vectorized inside each worker.
+    chunk_rows:
+        When set, each structural point's batchable scenarios run in
+        bounded chunks of at most this many rows: stimuli are built,
+        processed and measured chunk by chunk, so peak memory is
+        ``O(chunk_rows * n_samples)`` per stage instead of one
+        monolithic ``(n_batch_points, n_samples)`` pass — the knob
+        that lets 100k+-point Monte Carlo axes run where the
+        monolithic batch OOMs.  Every kernel in the library is
+        row-independent, so results are row-exact vs the unchunked
+        run (a custom ``measure_batch`` must preserve that row
+        independence).
     """
 
     grid: ScenarioGrid
@@ -201,15 +212,18 @@ class SweepRunner:
     measure_batch: Optional[Callable[[WaveformBatch, List[Dict]], Sequence]] \
         = None
     processes: Optional[int] = None
+    chunk_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(
+                f"chunk_rows must be >= 1, got {self.chunk_rows}"
+            )
 
     # -- batched engine ----------------------------------------------------
-    def _run_structural_point(self, structural_params: Dict
-                              ) -> List[Any]:
-        """One pipeline build + one batched pass + measurement."""
-        batch_points = list(self.grid.batch_points())
-        full_params = [{**structural_params, **bp} for bp in batch_points]
-        processor = (self.build(structural_params)
-                     if self.build is not None else None)
+    def _measure_chunk(self, processor, full_params: List[Dict]
+                       ) -> List[Any]:
+        """Build + process + measure one bounded group of scenarios."""
         waves = [self.stimulus(p) for p in full_params]
         batch = WaveformBatch.stack(waves)
         out = _apply(processor, batch)
@@ -230,6 +244,22 @@ class SweepRunner:
             return [self.measure(row, p)
                     for row, p in zip(out.rows(), full_params)]
         return out.rows()
+
+    def _run_structural_point(self, structural_params: Dict
+                              ) -> List[Any]:
+        """One pipeline build + one (possibly chunked) batched pass."""
+        batch_points = list(self.grid.batch_points())
+        full_params = [{**structural_params, **bp} for bp in batch_points]
+        processor = (self.build(structural_params)
+                     if self.build is not None else None)
+        step = self.chunk_rows
+        if step is None or step >= len(full_params):
+            return self._measure_chunk(processor, full_params)
+        values: List[Any] = []
+        for start in range(0, len(full_params), step):
+            values.extend(self._measure_chunk(
+                processor, full_params[start:start + step]))
+        return values
 
     def run(self) -> SweepResult:
         """Execute the sweep with the batched engine."""

@@ -1,0 +1,372 @@
+"""The kernel backend layer: selection, bit-exactness, chunked passes.
+
+Three contracts from the compiled-kernels PR:
+
+* **selection** — ``repro.kernels`` resolves its default lazily
+  (env override > numba-if-importable > numpy), errors clearly when
+  ``REPRO_KERNELS=numba`` has nothing to import, and restores the
+  previous default after ``use_backend`` blocks;
+* **bit-exactness** — every importable backend produces *identical*
+  arrays from the three bit-serial kernels (CDR recurrence, DFE loop,
+  ``sample_uniform``), including early-terminating rows and NaN
+  phase tails, and the vectorized batch lock detector matches the
+  serial one row by row;
+* **chunked fused pass** — ``LinkSession.run_batch(chunk_rows=...)``
+  and ``SweepRunner(chunk_rows=...)`` are row-exact against their
+  monolithic runs across uneven chunk boundaries.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.baselines import DecisionFeedbackEqualizer, dfe_taps_from_channel
+from repro.cdr import BangBangCdr, CdrConfig
+from repro.channel import BackplaneChannel
+from repro.link import ChannelConfig, DfeConfig, LinkSession, RxConfig, \
+    TxConfig, stage
+from repro.signals import (
+    NrzEncoder,
+    RandomJitter,
+    WaveformBatch,
+    add_awgn,
+    bits_to_nrz,
+    prbs7,
+)
+from repro.sweep import ScenarioGrid, SweepAxis
+
+BIT_RATE = 10e9
+BACKENDS = kernels.available_backends()
+HAVE_NUMBA = "numba" in BACKENDS
+
+
+def make_batch(n_scenarios=8, n_bits=220, samples_per_bit=8):
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=samples_per_bit,
+                         amplitude=0.4)
+    bits = prbs7(n_bits)
+    waves = []
+    for seed in range(1, n_scenarios + 1):
+        jitter = RandomJitter(3e-12, seed=seed)
+        wave = encoder.encode(bits,
+                              edge_offsets=jitter.offsets(n_bits, BIT_RATE))
+        waves.append(add_awgn(wave, rms_volts=0.02, seed=seed))
+    return WaveformBatch.stack(waves)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection.
+# ---------------------------------------------------------------------------
+
+def test_numpy_backend_always_available():
+    assert "numpy" in BACKENDS
+    assert kernels.backend_name() in BACKENDS
+
+
+def test_unknown_backend_name_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.get_backend("cython")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.set_backend("cython")
+
+
+def test_use_backend_pins_and_restores():
+    before = kernels.backend_name()
+    with kernels.use_backend("numpy") as backend:
+        assert backend.NAME == "numpy"
+        assert kernels.backend_name() == "numpy"
+    assert kernels.backend_name() == before
+
+
+def test_set_backend_switches_default():
+    before = kernels.backend_name()
+    try:
+        assert kernels.set_backend("numpy").NAME == "numpy"
+        assert kernels.backend_name() == "numpy"
+    finally:
+        kernels.set_backend(before)
+
+
+def _run_subprocess(code, **env_overrides):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_overrides)
+    return subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+
+
+def test_env_override_numpy():
+    proc = _run_subprocess(
+        "from repro import kernels; print(kernels.backend_name())",
+        REPRO_KERNELS="numpy",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "numpy"
+
+
+def test_env_override_unknown_name_errors_lazily():
+    # import repro must succeed; the error surfaces on first kernel use.
+    proc = _run_subprocess(
+        "import repro\n"
+        "from repro import kernels\n"
+        "try:\n"
+        "    kernels.backend_name()\n"
+        "except ValueError as error:\n"
+        "    print('lazy-error', error)\n",
+        REPRO_KERNELS="cython",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.startswith("lazy-error")
+
+
+@pytest.mark.skipif(HAVE_NUMBA,
+                    reason="numba installed; the missing-backend error "
+                           "path is unreachable")
+def test_env_override_numba_without_numba_errors_clearly():
+    proc = _run_subprocess(
+        "import repro\n"
+        "from repro import kernels\n"
+        "try:\n"
+        "    kernels.backend_name()\n"
+        "except RuntimeError as error:\n"
+        "    print('clear-error', error)\n",
+        REPRO_KERNELS="numba",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.startswith("clear-error")
+    assert "REPRO_KERNELS" in proc.stdout
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+def test_env_override_numba():
+    proc = _run_subprocess(
+        "from repro import kernels; print(kernels.backend_name())",
+        REPRO_KERNELS="numba",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "numba"
+
+
+def test_import_repro_with_default_selection():
+    """`import repro` works with no env override regardless of numba."""
+    proc = _run_subprocess(
+        "import repro\n"
+        "from repro import kernels\n"
+        "print(kernels.backend_name())\n",
+        REPRO_KERNELS="",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() in ("numpy", "numba")
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend bit-exactness.
+# ---------------------------------------------------------------------------
+
+def _cdr_arrays(backend_name, batch, **overrides):
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
+    with kernels.use_backend(backend_name):
+        result = stage(cdr).recover(batch, **overrides)
+    return result
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cdr_backend_matches_numpy_reference(backend):
+    batch = make_batch()
+    # Large per-row frequency offsets force cycle slips and make some
+    # rows run out of waveform early — the ragged-tail code paths.
+    ppm = np.linspace(-4e4, 4e4, batch.n_scenarios)
+    reference = _cdr_arrays("numpy", batch, initial_frequency_ppm=ppm)
+    candidate = _cdr_arrays(backend, batch, initial_frequency_ppm=ppm)
+
+    assert np.array_equal(candidate.n_bits, reference.n_bits)
+    # The offsets above must actually produce ragged rows for this test
+    # to mean anything.
+    assert len(np.unique(reference.n_bits)) > 1
+    np.testing.assert_array_equal(candidate.decisions, reference.decisions)
+    assert np.array_equal(candidate.phase_track_ui,
+                          reference.phase_track_ui, equal_nan=True)
+    np.testing.assert_array_equal(candidate.votes, reference.votes)
+    np.testing.assert_array_equal(candidate.slips, reference.slips)
+    np.testing.assert_array_equal(candidate.locked_at_bit,
+                                  reference.locked_at_bit)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dfe_backend_matches_numpy_reference(backend):
+    channel = BackplaneChannel(0.5)
+    received = channel.process(
+        bits_to_nrz(prbs7(260), BIT_RATE, amplitude=1.0, samples_per_bit=16))
+    batch = WaveformBatch.with_noise_seeds(received, rms_volts=0.01,
+                                           seeds=list(range(1, 9)))
+    dfe = DecisionFeedbackEqualizer(
+        taps=dfe_taps_from_channel(channel, BIT_RATE, n_taps=3,
+                                   amplitude=1.0),
+        bit_rate=BIT_RATE)
+    with kernels.use_backend("numpy"):
+        ref_decisions, ref_corrected = stage(dfe).equalize(batch)
+    with kernels.use_backend(backend):
+        decisions, corrected = stage(dfe).equalize(batch)
+    np.testing.assert_array_equal(decisions, ref_decisions)
+    np.testing.assert_array_equal(corrected, ref_corrected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sample_uniform_backend_matches_numpy_reference(backend):
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(6, 50))
+    t0, sample_rate = 2e-10, 8e10
+    # Includes times outside the span: both ends must clamp identically.
+    times = np.array([-1e-9, 0.0, 2.5e-10, 3.1e-10, 5e-10, 1e-6])
+    reference = kernels.get_backend("numpy").sample_uniform(
+        data, t0, sample_rate, times)
+    candidate = kernels.get_backend(backend).sample_uniform(
+        data, t0, sample_rate, times)
+    np.testing.assert_array_equal(candidate, reference)
+    assert candidate.shape == (6,)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_serial_recover_matches_batch_rows_under_backend(backend):
+    """The serial reference loop pins every backend, not just numpy."""
+    batch = make_batch(n_scenarios=4)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
+    with kernels.use_backend(backend):
+        batched = stage(cdr).recover(batch)
+    for i, wave in enumerate(batch.rows()):
+        reference = cdr.recover(wave)
+        row = batched.row(i)
+        np.testing.assert_array_equal(row.decisions, reference.decisions)
+        np.testing.assert_array_equal(row.phase_track_ui,
+                                      reference.phase_track_ui)
+        assert row.slips == reference.slips
+        assert row.locked_at_bit == reference.locked_at_bit
+
+
+# ---------------------------------------------------------------------------
+# Vectorized lock detection.
+# ---------------------------------------------------------------------------
+
+def test_detect_lock_batch_matches_serial_rows():
+    batch = make_batch(n_scenarios=10)
+    ppm = np.linspace(-4e4, 4e4, batch.n_scenarios)
+    cdr = BangBangCdr(CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5))
+    result = stage(cdr).recover(batch, initial_frequency_ppm=ppm)
+    locked = BangBangCdr._detect_lock_batch(result.phase_track_ui,
+                                            result.n_bits)
+    for i in range(batch.n_scenarios):
+        track = result.phase_track_ui[i, :result.n_bits[i]]
+        assert locked[i] == BangBangCdr._detect_lock(track), f"row {i}"
+
+
+def test_detect_lock_batch_synthetic_edges():
+    window = 64
+    # Row 0: flat from the start — locks at 0.  Row 1: settles exactly
+    # at the last admissible window.  Row 2: never settles.  Row 3: too
+    # short once its ragged length is accounted for.
+    total = 4 * window
+    phases = np.empty((4, total))
+    phases[0] = 0.3
+    phases[1] = np.concatenate([np.linspace(1.0, 0.3, total - 2 * window),
+                                np.full(2 * window, 0.3)])
+    phases[2] = np.linspace(0.0, 5.0, total)
+    phases[3, :] = 0.3
+    phases[3, window:] = np.nan
+    row_bits = np.array([total, total, total, window], dtype=np.int64)
+    locked = BangBangCdr._detect_lock_batch(phases, row_bits)
+    assert locked[0] == 0
+    # The ramp's tail fits the tolerance window a few bits before it
+    # ends; the exact index is pinned by the serial-parity loop below.
+    assert 0 < locked[1] <= total - 2 * window
+    assert locked[2] == -1
+    assert locked[3] == -1
+    for i in range(4):
+        track = phases[i, :row_bits[i]]
+        assert locked[i] == BangBangCdr._detect_lock(track), f"row {i}"
+
+
+def test_detect_lock_batch_short_batch_returns_unlocked():
+    phases = np.zeros((3, 40))
+    row_bits = np.full(3, 40, dtype=np.int64)
+    locked = BangBangCdr._detect_lock_batch(phases, row_bits)
+    np.testing.assert_array_equal(locked, [-1, -1, -1])
+
+
+# ---------------------------------------------------------------------------
+# Chunked fused pass.
+# ---------------------------------------------------------------------------
+
+def _session():
+    return LinkSession.from_configs(
+        TxConfig(), ChannelConfig(0.3), RxConfig(),
+        bit_rate=BIT_RATE,
+        cdr=CdrConfig(bit_rate=BIT_RATE, kp=8e-3, ki=2e-5),
+        dfe=DfeConfig(taps=(0.05, 0.02)),
+    )
+
+
+def _assert_batch_results_equal(chunked, mono):
+    np.testing.assert_array_equal(chunked.output.data, mono.output.data)
+    assert chunked.output.sample_rate == mono.output.sample_rate
+    assert chunked.output.t0 == mono.output.t0
+    assert chunked.eyes == mono.eyes
+    np.testing.assert_array_equal(chunked.cdr.decisions, mono.cdr.decisions)
+    assert np.array_equal(chunked.cdr.phase_track_ui,
+                          mono.cdr.phase_track_ui, equal_nan=True)
+    np.testing.assert_array_equal(chunked.cdr.locked_at_bit,
+                                  mono.cdr.locked_at_bit)
+    np.testing.assert_array_equal(chunked.cdr.slips, mono.cdr.slips)
+    np.testing.assert_array_equal(chunked.dfe_decisions, mono.dfe_decisions)
+    np.testing.assert_array_equal(chunked.dfe_corrected, mono.dfe_corrected)
+    np.testing.assert_array_equal(chunked.dfe_inner_eye_heights,
+                                  mono.dfe_inner_eye_heights)
+
+
+@pytest.mark.parametrize("chunk_rows", [1, 5, 7, 23, 50])
+def test_chunked_run_batch_row_exact(chunk_rows):
+    batch = make_batch(n_scenarios=23, n_bits=120)
+    session = _session()
+    mono = session.run_batch(batch)
+    chunked = session.run_batch(batch, chunk_rows=chunk_rows)
+    assert chunked.n_scenarios == 23
+    _assert_batch_results_equal(chunked, mono)
+
+
+def test_run_batch_keep_output_false_drops_waveforms():
+    batch = make_batch(n_scenarios=9, n_bits=120)
+    session = _session()
+    mono = session.run_batch(batch)
+    slim = session.run_batch(batch, chunk_rows=4, keep_output=False)
+    assert slim.output.data.shape == (9, 0)
+    assert slim.eyes == mono.eyes
+    np.testing.assert_array_equal(slim.cdr.decisions, mono.cdr.decisions)
+    np.testing.assert_array_equal(slim.dfe_corrected, mono.dfe_corrected)
+
+
+def test_run_batch_chunk_rows_validation():
+    session = _session()
+    batch = make_batch(n_scenarios=2, n_bits=120)
+    with pytest.raises(ValueError, match="chunk_rows"):
+        session.run_batch(batch, chunk_rows=0)
+
+
+def test_sweep_chunk_rows_matches_monolithic():
+    session = _session()
+    encoder = NrzEncoder(bit_rate=BIT_RATE, samples_per_bit=8, amplitude=0.4)
+    bits = prbs7(120)
+
+    def stimulus(params):
+        jitter = RandomJitter(2e-12, seed=params["seed"])
+        return encoder.encode(
+            bits, edge_offsets=jitter.offsets(120, BIT_RATE))
+
+    grid = ScenarioGrid([SweepAxis("seed", tuple(range(1, 8)))])
+    mono = session.sweep(grid, stimulus,
+                         measure=lambda out, params: list(out.data.sum(1)))
+    chunked = session.sweep(grid, stimulus, chunk_rows=3,
+                            measure=lambda out, params: list(out.data.sum(1)))
+    assert mono.results == chunked.results
