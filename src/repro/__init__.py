@@ -95,7 +95,8 @@ from .baselines import (
 )
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
-from .sweep import ScenarioGrid, SweepAxis, SweepResult, SweepRunner
+from .sweep import (ScenarioGrid, SweepAxis, SweepFailure, SweepResult,
+                    SweepRunner)
 from .link import (
     Stage,
     stage,
@@ -183,6 +184,7 @@ __all__ = [
     "LinkReport",
     "ScenarioGrid",
     "SweepAxis",
+    "SweepFailure",
     "SweepRunner",
     "SweepResult",
     "Stage",

@@ -463,7 +463,13 @@ class LinkSession:
                                          Sequence]] = None,
               processes: Optional[int] = None,
               chunk_rows: Optional[int] = None,
-              serial: bool = False) -> SweepResult:
+              serial: bool = False,
+              checkpoint_dir=None,
+              timeout: Optional[float] = None,
+              max_attempts: int = 3,
+              retry_backoff_s: float = 0.25,
+              nan_guard: bool = False,
+              on_error: str = "raise") -> SweepResult:
         """Execute a scenario grid through the facade.
 
         Batchable axes ride through the stage chain as one
@@ -480,6 +486,17 @@ class LinkSession:
         at most that size, row-exact vs the monolithic pass.
         ``serial=True`` runs the per-waveform reference loop instead of
         the batched engine.
+
+        The remaining knobs are :class:`SweepRunner`'s reliability
+        layer, passed through verbatim: ``checkpoint_dir`` journals
+        finished units for bit-exact resume, ``timeout`` /
+        ``max_attempts`` / ``retry_backoff_s`` bound and retry pool
+        units, ``nan_guard`` flags non-finite measurements, and
+        ``on_error="quarantine"`` records persistent failures on
+        ``SweepResult.failures`` instead of raising.  (Note the default
+        measurement is a local closure and therefore unpicklable — pass
+        an importable ``measure`` to combine ``processes > 1`` with the
+        pool.)
         """
         if measure is None:
             def measure(out: WaveformBatch, params: List[Dict]):
@@ -487,8 +504,13 @@ class LinkSession:
         runner = SweepRunner(grid, stimulus=stimulus,
                              build=self._builder_for(grid),
                              measure_batch=measure, processes=processes,
-                             chunk_rows=chunk_rows)
-        return runner.run_serial() if serial else runner.run()
+                             chunk_rows=chunk_rows, timeout=timeout,
+                             max_attempts=max_attempts,
+                             retry_backoff_s=retry_backoff_s,
+                             nan_guard=nan_guard, on_error=on_error)
+        if serial:
+            return runner.run_serial()
+        return runner.run(checkpoint_dir=checkpoint_dir)
 
     def _builder_for(self, grid: ScenarioGrid):
         structural = [axis.name for axis in grid.structural_axes()]

@@ -23,11 +23,25 @@ rebuilds pipelines only along structural axes.
     )
     result = runner.run()
     heights = result.values(lambda m: m.eye_height)   # shape (3, 100)
+
+Long sweeps are fault-tolerant: ``runner.run(checkpoint_dir=...)``
+journals every finished (structural point, row-chunk) unit for
+bit-exact resume (:mod:`repro.sweep.checkpoint`), pool execution
+retries crashed/hung/raising units with backoff, and
+``on_error="quarantine"`` narrows persistent failures to the offending
+rows, recorded as :class:`SweepFailure` entries on
+``SweepResult.failures`` while healthy rows complete.  The
+deterministic fault-injection harness (:mod:`repro.sweep.faults`,
+env-gated via ``REPRO_SWEEP_FAULTS``) exercises all of it in CI.
 """
 
+from .checkpoint import CheckpointJournal
+from .faults import FaultInjected, FaultRule, SweepAbort, inject_faults
 from .grid import ScenarioGrid, SweepAxis
-from .runner import SweepResult, SweepRunner, closed_loop_cdr_measure, \
-    dfe_measure
+from .runner import SweepFailure, SweepResult, SweepRunner, \
+    closed_loop_cdr_measure, dfe_measure
 
 __all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult",
+           "SweepFailure", "CheckpointJournal", "FaultRule", "FaultInjected",
+           "SweepAbort", "inject_faults",
            "closed_loop_cdr_measure", "dfe_measure"]

@@ -11,23 +11,56 @@ per point) and batchable (same pipeline, many stimuli) and executes
 
 against which the equivalent serial loop (:meth:`SweepRunner.run_serial`)
 is the reference: identical per-scenario numerics, one Python-level
-simulation per point.  Structural points are independent, so they can
-optionally fan out over a process pool.
+simulation per point.
+
+Execution is organised in **units** — one (structural point, row-chunk)
+each, ``chunk_rows`` rows per chunk — which are the granularity of
+everything reliability-related:
+
+* **checkpoint/resume** — ``run(checkpoint_dir=...)`` journals every
+  finished unit (:mod:`repro.sweep.checkpoint`) and skips journaled
+  units on the next run, so an interrupted million-point sweep restarts
+  where it died and the merged result is bit-exact vs an uninterrupted
+  run;
+* **supervised pooling** — with ``processes > 1`` units are submitted
+  individually to a process pool with a configurable per-unit
+  ``timeout``, bounded retries with exponential backoff, and
+  ``BrokenProcessPool`` recovery (respawn, requeue, re-attribute by
+  isolating the suspects); if the pool keeps breaking without an
+  attributable culprit the runner falls back to in-process execution
+  with a ``RuntimeWarning`` — loudly, never silently;
+* **quarantine** — with ``on_error="quarantine"``, a unit that keeps
+  failing (exception, timeout, worker crash, or non-finite output
+  under the opt-in ``nan_guard``) is bisected down to the offending
+  rows, which are recorded as :class:`SweepFailure` entries on
+  :attr:`SweepResult.failures` while every healthy row still
+  completes.
+
+The deterministic fault-injection harness in :mod:`repro.sweep.faults`
+(env-gated via ``REPRO_SWEEP_FAULTS``) exercises all of the above in
+CI.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import pickle
+import time
+import traceback as _traceback
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..signals.batch import WaveformBatch
 from ..signals.waveform import Waveform
+from . import faults as _faults
+from .checkpoint import CheckpointJournal, describe_callable, describe_grid
 from .grid import ScenarioGrid
 
-__all__ = ["SweepRunner", "SweepResult", "closed_loop_cdr_measure",
-           "dfe_measure"]
+__all__ = ["SweepRunner", "SweepResult", "SweepFailure",
+           "closed_loop_cdr_measure", "dfe_measure"]
 
 
 def closed_loop_cdr_measure(config, n_bits: Optional[int] = None,
@@ -114,6 +147,24 @@ def dfe_measure(dfe, skip_bits: int = 16,
     return measure, measure_batch
 
 
+@dataclasses.dataclass(frozen=True)
+class SweepFailure:
+    """One quarantined scenario: the row that kept failing after the
+    retry budget (and, for multi-row units, the bisection) ran out.
+
+    ``kind`` is ``"exception"``, ``"timeout"``, ``"crash"`` or
+    ``"non-finite"``; ``error`` / ``traceback`` carry what could be
+    captured (worker crashes leave no traceback), and ``attempts`` is
+    how many times the final single-row unit was tried.
+    """
+
+    params: Dict
+    kind: str
+    error: str
+    traceback: str = ""
+    attempts: int = 1
+
+
 @dataclasses.dataclass
 class SweepResult:
     """The outcome of a sweep, aligned with the grid's canonical order.
@@ -121,25 +172,41 @@ class SweepResult:
     ``params[i]`` is scenario ``i``'s full parameter dict and
     ``results[i]`` the measurement (or the processed
     :class:`~repro.signals.waveform.Waveform` when the runner has no
-    measure function).
+    measure function).  Scenarios quarantined by the reliability layer
+    have ``results[i] is None`` and a matching :class:`SweepFailure`
+    entry in :attr:`failures` (empty for fully healthy sweeps).
     """
 
     grid: ScenarioGrid
     params: List[Dict]
     results: List[Any]
+    failures: List[SweepFailure] = dataclasses.field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def values(self, extract: Callable[[Any], float]) -> np.ndarray:
+    def values(self, extract: Callable[[Any], float], *,
+               strict: bool = False) -> np.ndarray:
         """Extract one float per scenario, shaped like the grid.
 
         ``extract`` maps a result to a number (e.g.
         ``lambda m: m.eye_height``); the returned array has
-        ``grid.shape``.
+        ``grid.shape``.  Quarantined scenarios (``results[i] is
+        None``) become ``nan`` so a partially failed sweep still
+        reduces cleanly; pass ``strict=True`` to raise instead, with
+        the failed scenarios' parameters listed.
         """
-        flat = np.array([extract(result) for result in self.results],
-                        dtype=float)
+        if strict and self.failures:
+            shown = [f"{failure.params!r} [{failure.kind}: {failure.error}]"
+                     for failure in self.failures[:8]]
+            more = len(self.failures) - len(shown)
+            raise ValueError(
+                f"{len(self.failures)} scenario(s) failed: "
+                + "; ".join(shown)
+                + (f"; ... and {more} more" if more > 0 else "")
+            )
+        flat = np.array([np.nan if result is None else extract(result)
+                         for result in self.results], dtype=float)
         return flat.reshape(self.grid.shape)
 
     def along(self, axis_name: str) -> Sequence:
@@ -159,6 +226,104 @@ def _apply(processor, wave):
     if process is not None:
         return process(wave)
     return processor(wave)
+
+
+# ---------------------------------------------------------------------------
+# Execution units: the granularity of checkpointing, retries, quarantine.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _Unit:
+    """One (structural point, row-chunk) of work.
+
+    ``[start, stop)`` are batch-point indices within the structural
+    point; ``full_params[j]`` is the complete parameter dict of row
+    ``start + j``.  ``attempts`` counts failed tries; ``suspect`` marks
+    units that crashed or timed out and must therefore run isolated
+    (sole in-flight unit) so the next failure is attributable.
+    """
+
+    si: int
+    structural_params: Dict
+    start: int
+    stop: int
+    full_params: List[Dict]
+    attempts: int = 0
+    suspect: bool = False
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def key(self):
+        return (self.si, self.start, self.stop)
+
+    @property
+    def journal_key(self) -> str:
+        return f"{self.si}-{self.start}-{self.stop}"
+
+    def split(self) -> "List[_Unit]":
+        """Bisect into two fresh-budget halves (quarantine narrowing)."""
+        mid = self.start + self.n_rows // 2
+        cut = mid - self.start
+        return [
+            _Unit(self.si, self.structural_params, self.start, mid,
+                  self.full_params[:cut], suspect=self.suspect),
+            _Unit(self.si, self.structural_params, mid, self.stop,
+                  self.full_params[cut:], suspect=self.suspect),
+        ]
+
+
+@dataclasses.dataclass
+class _UnitOutcome:
+    """A resolved unit: per-row values (None where quarantined) plus
+    the quarantine records."""
+
+    unit: _Unit
+    values: List[Any]
+    failures: List[SweepFailure]
+
+
+def _execute_unit(runner: "SweepRunner", unit: _Unit) -> List[Any]:
+    """Worker-side execution of one unit (also the in-process kernel).
+
+    Module-level so the process pool can pickle it by reference; the
+    fault hooks are no-ops unless ``REPRO_SWEEP_FAULTS`` is set.
+    """
+    _faults.on_unit_start(unit.key)
+    processor = (runner.build(unit.structural_params)
+                 if runner.build is not None else None)
+    values = runner._measure_chunk(processor, unit.full_params)
+    return _faults.on_unit_values(unit.key, values)
+
+
+def _has_nonfinite(value) -> bool:
+    """Best-effort non-finite detection over the value shapes sweeps
+    produce: numbers, ndarrays, waveforms (``.data``), and
+    tuples/lists of those.  Opaque objects are assumed finite."""
+    if value is None:
+        return False
+    if isinstance(value, (int, float, complex, np.number)):
+        return not bool(np.all(np.isfinite(value)))
+    if isinstance(value, np.ndarray):
+        if not np.issubdtype(value.dtype, np.number):
+            return False
+        return not bool(np.all(np.isfinite(value)))
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.number):
+        return not bool(np.all(np.isfinite(data)))
+    if isinstance(value, (tuple, list)):
+        return any(_has_nonfinite(item) for item in value)
+    return False
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
 
 
 @dataclasses.dataclass
@@ -188,10 +353,11 @@ class SweepRunner:
         (e.g. :func:`~repro.analysis.eye.measure_eye_batch`); used by
         :meth:`run` instead of per-row ``measure`` when provided.
     processes:
-        When > 1 and the grid has several structural points, fan the
-        structural axis out over a process pool (the callables must be
-        picklable, i.e. module-level).  Batchable axes always run
-        vectorized inside each worker.
+        When > 1 and the sweep has several execution units, fan the
+        units out over a supervised process pool (the callables must
+        be picklable, i.e. module-level; a non-picklable runner warns
+        and runs in-process).  With ``chunk_rows`` set this
+        parallelizes batchable chunks too, not just structural points.
     chunk_rows:
         When set, each structural point's batchable scenarios run in
         bounded chunks of at most this many rows: stimuli are built,
@@ -202,7 +368,34 @@ class SweepRunner:
         monolithic batch OOMs.  Every kernel in the library is
         row-independent, so results are row-exact vs the unchunked
         run (a custom ``measure_batch`` must preserve that row
-        independence).
+        independence).  Chunks are also the unit of checkpointing,
+        retries and quarantine.  Under a pool, ``build`` runs once per
+        chunk (workers cannot share a processor).
+    timeout:
+        Per-unit wall-clock budget in seconds (pool mode only; a hung
+        unit cannot be interrupted in-process).  On expiry the pool is
+        torn down — hung workers are killed, never joined — in-flight
+        innocents are requeued without penalty, and the timed-out unit
+        is retried.
+    max_attempts:
+        Tries per unit before it is given up (then bisected /
+        quarantined under ``on_error="quarantine"``, or raised under
+        ``"raise"``).
+    retry_backoff_s:
+        Base of the exponential backoff between retries of one unit
+        (``retry_backoff_s * 2**(attempt-1)`` seconds).
+    nan_guard:
+        Opt-in guard: after a unit is measured, rows whose values
+        contain non-finite floats count as failures (and are
+        eventually quarantined row-exactly), instead of silently
+        poisoning downstream aggregation.
+    on_error:
+        ``"raise"`` (default): scenario-level exceptions propagate
+        immediately, and infrastructure failures (worker crash,
+        timeout) raise after the retry budget.  ``"quarantine"``:
+        every kind of persistent failure is narrowed to the offending
+        rows and recorded on :attr:`SweepResult.failures` while the
+        healthy rows complete.
     """
 
     grid: ScenarioGrid
@@ -213,11 +406,36 @@ class SweepRunner:
         = None
     processes: Optional[int] = None
     chunk_rows: Optional[int] = None
+    timeout: Optional[float] = None
+    max_attempts: int = 3
+    retry_backoff_s: float = 0.25
+    nan_guard: bool = False
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(
                 f"chunk_rows must be >= 1, got {self.chunk_rows}"
+            )
+        if self.processes is not None and self.processes < 0:
+            raise ValueError(
+                f"processes must be >= 0, got {self.processes} "
+                "(None/0/1 run in-process; > 1 fans out over a pool)"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.on_error not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'quarantine', "
+                f"got {self.on_error!r}"
             )
 
     # -- batched engine ----------------------------------------------------
@@ -245,52 +463,246 @@ class SweepRunner:
                     for row, p in zip(out.rows(), full_params)]
         return out.rows()
 
-    def _run_structural_point(self, structural_params: Dict
-                              ) -> List[Any]:
-        """One pipeline build + one (possibly chunked) batched pass."""
-        batch_points = list(self.grid.batch_points())
-        full_params = [{**structural_params, **bp} for bp in batch_points]
-        processor = (self.build(structural_params)
-                     if self.build is not None else None)
-        step = self.chunk_rows
-        if step is None or step >= len(full_params):
-            return self._measure_chunk(processor, full_params)
-        values: List[Any] = []
-        for start in range(0, len(full_params), step):
-            values.extend(self._measure_chunk(
-                processor, full_params[start:start + step]))
-        return values
+    def run(self, *, checkpoint_dir=None) -> SweepResult:
+        """Execute the sweep with the batched engine.
 
-    def run(self) -> SweepResult:
-        """Execute the sweep with the batched engine."""
-        structural_points = list(self.grid.structural_points())
-        per_point: List[List[Any]]
-        if self.processes and self.processes > 1 \
-                and len(structural_points) > 1:
-            per_point = self._run_pool(structural_points)
-        else:
-            per_point = [self._run_structural_point(sp)
-                         for sp in structural_points]
-        return self._gather(structural_points, per_point)
-
-    def _run_pool(self, structural_points: List[Dict]) -> List[List[Any]]:
-        """Fan structural points out over a process pool.
-
-        Falls back to in-process execution when the runner's callables
-        cannot cross a process boundary (lambdas/closures).
+        ``checkpoint_dir`` enables the resume journal: every finished
+        unit is recorded there and already-journaled units are skipped,
+        so re-invoking an interrupted sweep with the same arguments
+        completes only the missing work and the merged result is
+        bit-exact vs an uninterrupted run (the journal is keyed by a
+        canonical hash of the grid + runner config, so a mismatched
+        runner never reuses stale entries).
         """
-        import concurrent.futures
-        import pickle
+        structural_points = list(self.grid.structural_points())
+        batch_points = list(self.grid.batch_points())
+        units = self._plan_units(structural_points, batch_points)
+        journal = (CheckpointJournal.open(checkpoint_dir,
+                                          self._fingerprint())
+                   if checkpoint_dir is not None else None)
+        outcomes: List[_UnitOutcome] = []
+        todo: List[_Unit] = []
+        if journal is not None:
+            present = {tuple(int(part) for part in key.split("-"))
+                       for key in journal.unit_keys()}
+            for unit in units:
+                covered = self._load_covering(unit, journal, present)
+                if covered is None:
+                    todo.append(unit)
+                else:
+                    outcomes.extend(covered)
+        else:
+            todo = units
+        if todo:
+            if self._use_pool(todo):
+                outcomes.extend(_PoolSupervisor(self, journal).run(todo))
+            else:
+                outcomes.extend(self._run_units_inprocess(todo, journal))
+        return self._assemble(structural_points, batch_points, outcomes)
 
+    # -- unit planning / merging -------------------------------------------
+    def _plan_units(self, structural_points: List[Dict],
+                    batch_points: List[Dict]) -> List[_Unit]:
+        step = self.chunk_rows or len(batch_points)
+        units: List[_Unit] = []
+        for si, sp in enumerate(structural_points):
+            for start in range(0, len(batch_points), step):
+                stop = min(start + step, len(batch_points))
+                full = [{**sp, **bp} for bp in batch_points[start:stop]]
+                units.append(_Unit(si, sp, start, stop, full))
+        return units
+
+    def _fingerprint(self) -> Dict[str, Any]:
+        """What the checkpoint journal keys on: everything that
+        determines a unit's identity and results."""
+        return {
+            "version": 1,
+            "grid": describe_grid(self.grid),
+            "stimulus": describe_callable(self.stimulus),
+            "build": describe_callable(self.build),
+            "measure": describe_callable(self.measure),
+            "measure_batch": describe_callable(self.measure_batch),
+            "chunk_rows": self.chunk_rows,
+            "nan_guard": self.nan_guard,
+        }
+
+    def _load_covering(self, unit: _Unit, journal: CheckpointJournal,
+                       present) -> Optional[List[_UnitOutcome]]:
+        """Journaled outcomes covering ``unit``, or None to re-run it.
+
+        Quarantine bisection journals *sub*-units (``0-4-5``/``0-5-6``
+        instead of ``0-4-6``), so a resume must recurse down the
+        deterministic split tree before declaring a unit missing —
+        otherwise replaying a sweep with quarantined rows would re-run
+        (and potentially un-quarantine) them.  ``present`` is a
+        snapshot of the journal's ``(si, start, stop)`` keys, so a
+        fresh journal costs set lookups, not a file probe per node of
+        the split tree.
+        """
+        if (unit.si, unit.start, unit.stop) in present:
+            record = journal.load(unit.journal_key)
+            if record is not None:
+                return [_UnitOutcome(unit, record["values"],
+                                     record["failures"])]
+        if unit.n_rows <= 1:
+            return None
+        if not any(si == unit.si and unit.start <= start
+                   and stop <= unit.stop
+                   and (start, stop) != (unit.start, unit.stop)
+                   for si, start, stop in present):
+            return None
+        parts = [self._load_covering(half, journal, present)
+                 for half in unit.split()]
+        if any(part is None for part in parts):
+            return None
+        return [outcome for part in parts for outcome in part]
+
+    def _assemble(self, structural_points: List[Dict],
+                  batch_points: List[Dict],
+                  outcomes: List[_UnitOutcome]) -> SweepResult:
+        n_batch = len(batch_points)
+        per_point: List[List[Any]] = [[None] * n_batch
+                                      for _ in structural_points]
+        failures: List[SweepFailure] = []
+        for outcome in outcomes:
+            row = per_point[outcome.unit.si]
+            for j, value in enumerate(outcome.values):
+                row[outcome.unit.start + j] = value
+            failures.extend(outcome.failures)
+        # Execution order is nondeterministic under a pool; canonical
+        # grid order keeps resumed-vs-uninterrupted comparisons exact.
+        failures.sort(key=lambda f: self.grid.flat_index(f.params))
+        return self._gather(structural_points, per_point, failures)
+
+    # -- pool / in-process selection ---------------------------------------
+    def _use_pool(self, units: List[_Unit]) -> bool:
+        if not self.processes or self.processes <= 1 or len(units) <= 1:
+            return False
         try:
             pickle.dumps(self)
-        except Exception:
-            return [self._run_structural_point(sp)
-                    for sp in structural_points]
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.processes) as pool:
-            return list(pool.map(self._run_structural_point,
-                                 structural_points))
+            return True
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            bad = [name for name in ("stimulus", "build", "measure",
+                                     "measure_batch")
+                   if not _picklable(getattr(self, name))]
+            named = ", ".join(bad) if bad else "the runner"
+            warnings.warn(
+                f"SweepRunner(processes={self.processes}) cannot fan out "
+                f"to a process pool: {named} "
+                f"{'are' if len(bad) > 1 else 'is'} not picklable "
+                f"({error}); executing in-process instead.  Use "
+                "module-level callables to enable the pool.",
+                RuntimeWarning, stacklevel=3)
+            return False
+
+    # -- failure bookkeeping (shared by pool and in-process paths) ---------
+    def _sleep_backoff(self, unit: _Unit) -> None:
+        if unit.attempts and self.retry_backoff_s:
+            time.sleep(self.retry_backoff_s * 2 ** (unit.attempts - 1))
+
+    def _finish_unit(self, unit: _Unit, values: List[Any],
+                     failures: List[SweepFailure],
+                     sink: List[_UnitOutcome],
+                     journal: Optional[CheckpointJournal]) -> None:
+        outcome = _UnitOutcome(unit, list(values), failures)
+        if journal is not None:
+            journal.store(unit.journal_key, outcome.values,
+                          outcome.failures)
+        sink.append(outcome)
+
+    def _after_failed_attempt(self, unit: _Unit, kind: str, error: str,
+                              tb: str, sink: List[_UnitOutcome],
+                              journal: Optional[CheckpointJournal]
+                              ) -> List[_Unit]:
+        """One failed try: retry, bisect, or quarantine/raise.
+
+        Returns the follow-up units to (re)queue; resolved single-row
+        quarantines are appended to ``sink`` directly.
+        """
+        unit.attempts += 1
+        if unit.attempts < self.max_attempts:
+            return [unit]
+        if self.on_error == "raise":
+            raise RuntimeError(
+                f"sweep unit (structural point {unit.si}, rows "
+                f"[{unit.start}:{unit.stop})) failed after "
+                f"{unit.attempts} attempt(s) [{kind}]: {error} — pass "
+                "on_error='quarantine' to record persistent failures on "
+                "SweepResult.failures instead"
+            )
+        if unit.n_rows > 1:
+            return unit.split()
+        failure = SweepFailure(params=dict(unit.full_params[0]), kind=kind,
+                               error=error, traceback=tb,
+                               attempts=unit.attempts)
+        self._finish_unit(unit, [None], [failure], sink, journal)
+        return []
+
+    def _handle_values(self, unit: _Unit, values: List[Any],
+                       sink: List[_UnitOutcome],
+                       journal: Optional[CheckpointJournal]
+                       ) -> List[_Unit]:
+        """Resolve a successfully executed unit (NaN guard included)."""
+        bad = ([j for j, value in enumerate(values) if _has_nonfinite(value)]
+               if self.nan_guard else [])
+        if not bad:
+            self._finish_unit(unit, values, [], sink, journal)
+            return []
+        if self.on_error == "raise":
+            raise ValueError(
+                "nan_guard: non-finite output at scenario rows "
+                f"{[unit.start + j for j in bad]} of structural point "
+                f"{unit.si} — pass on_error='quarantine' to record them "
+                "on SweepResult.failures instead"
+            )
+        unit.attempts += 1
+        if unit.attempts < self.max_attempts:
+            return [unit]
+        kept = list(values)
+        failures = []
+        for j in bad:
+            failures.append(SweepFailure(
+                params=dict(unit.full_params[j]), kind="non-finite",
+                error=f"non-finite measurement {values[j]!r}",
+                attempts=unit.attempts))
+            kept[j] = None
+        self._finish_unit(unit, kept, failures, sink, journal)
+        return []
+
+    # -- in-process execution ----------------------------------------------
+    def _run_units_inprocess(self, units: List[_Unit],
+                             journal: Optional[CheckpointJournal]
+                             ) -> List[_UnitOutcome]:
+        outcomes: List[_UnitOutcome] = []
+        processors: Dict[int, Any] = {}
+        queue = collections.deque(units)
+        while queue:
+            unit = queue.popleft()
+            self._sleep_backoff(unit)
+            try:
+                _faults.on_unit_start(unit.key)
+                if unit.si not in processors:
+                    # One build per structural point, as any careful
+                    # hand-written loop would do.
+                    processors[unit.si] = (
+                        self.build(unit.structural_params)
+                        if self.build is not None else None)
+                values = _faults.on_unit_values(
+                    unit.key,
+                    self._measure_chunk(processors[unit.si],
+                                        unit.full_params))
+            except _faults.SweepAbort:
+                raise
+            except Exception as error:
+                if self.on_error == "raise":
+                    raise
+                queue.extend(self._after_failed_attempt(
+                    unit, "exception", repr(error),
+                    _traceback.format_exc(), outcomes, journal))
+                continue
+            queue.extend(self._handle_values(unit, values, outcomes,
+                                             journal))
+        return outcomes
 
     # -- serial reference --------------------------------------------------
     def run_serial(self) -> SweepResult:
@@ -299,7 +711,8 @@ class SweepRunner:
         Builds each structural point's pipeline once (as any careful
         hand-written loop would) but simulates and measures every
         scenario individually.  Row ``i`` of :meth:`run` matches this
-        path to machine precision.
+        path to machine precision.  No reliability machinery: faults,
+        retries and checkpoints are :meth:`run`'s business.
         """
         structural_points = list(self.grid.structural_points())
         batch_points = list(self.grid.batch_points())
@@ -319,11 +732,12 @@ class SweepRunner:
                 else:
                     values.append(out)
             per_point.append(values)
-        return self._gather(structural_points, per_point)
+        return self._gather(structural_points, per_point, [])
 
     # -- assembly ----------------------------------------------------------
     def _gather(self, structural_points: List[Dict],
-                per_point: List[List[Any]]) -> SweepResult:
+                per_point: List[List[Any]],
+                failures: List[SweepFailure]) -> SweepResult:
         """Scatter per-structural-point results into canonical order.
 
         Indices are computed positionally (the structural/batch point
@@ -362,4 +776,213 @@ class SweepRunner:
                     index = index * len(axis) + axis_index
                 params[index] = {**sp, **bp}
                 results[index] = value
-        return SweepResult(grid=self.grid, params=params, results=results)
+        return SweepResult(grid=self.grid, params=params, results=results,
+                           failures=failures)
+
+
+# ---------------------------------------------------------------------------
+# The supervised pool.
+# ---------------------------------------------------------------------------
+
+class _PoolSupervisor:
+    """Per-unit supervised execution over a ProcessPoolExecutor.
+
+    Replaces the old bare ``pool.map`` (where one dead or hung worker
+    re-raised and discarded every completed structural point) with:
+
+    * a sliding in-flight window of ``processes`` units, each with its
+      own deadline when ``timeout`` is set;
+    * ``BrokenProcessPool`` recovery — the pool is respawned and every
+      in-flight unit requeued.  A wave-mode crash is unattributable
+      (all pending futures break at once), so the requeued units are
+      marked *suspect* and re-run one at a time; in isolation the next
+      crash or timeout is attributable and charged to its unit's retry
+      budget, which is what keeps innocent units from being punished
+      for a neighbour's crash;
+    * hung-worker teardown — a timed-out pool is discarded with its
+      worker processes killed (never joined), so a hang can wedge
+      neither the sweep nor interpreter shutdown;
+    * an in-process fallthrough, with a ``RuntimeWarning``, when the
+      pool breaks more than ``MAX_UNATTRIBUTED_BREAKS`` times without
+      an attributable culprit (e.g. workers OOM-killed by the OS).
+    """
+
+    #: Unattributed pool breaks tolerated before giving up on pooling.
+    MAX_UNATTRIBUTED_BREAKS = 3
+
+    def __init__(self, runner: SweepRunner,
+                 journal: Optional[CheckpointJournal]):
+        self.runner = runner
+        self.journal = journal
+        self.outcomes: List[_UnitOutcome] = []
+        self.pending: collections.deque = collections.deque()
+        self.suspects: collections.deque = collections.deque()
+        self.pool = None
+        self.breaks = 0
+
+    def run(self, units: List[_Unit]) -> List[_UnitOutcome]:
+        for unit in units:
+            (self.suspects if unit.suspect else self.pending).append(unit)
+        try:
+            while self.pending or self.suspects:
+                if self.breaks > self.MAX_UNATTRIBUTED_BREAKS:
+                    self._fall_through_in_process()
+                    break
+                if self.suspects:
+                    self._pass(self.suspects, window=1)
+                else:
+                    self._pass(self.pending,
+                               window=max(int(self.runner.processes), 1))
+        finally:
+            self._discard_pool(kill=False)
+        return self.outcomes
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self):
+        if self.pool is None:
+            import concurrent.futures
+            self.pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.runner.processes)
+        return self.pool
+
+    def _discard_pool(self, kill: bool) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        if kill:
+            # A hung worker cannot be cancelled through the executor
+            # API and would be joined at interpreter exit — kill the
+            # worker processes outright.  (_processes is private but
+            # stable since 3.7; pebble/loky exist for this reason.)
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+    def _requeue(self, units: Sequence[_Unit]) -> None:
+        for unit in units:
+            (self.suspects if unit.suspect else self.pending).append(unit)
+
+    # -- one scheduling pass -----------------------------------------------
+    def _pass(self, queue: collections.deque, window: int) -> None:
+        """Drain ``queue`` through the pool with ``window`` units in
+        flight, returning early on a pool break or timeout (the outer
+        loop respawns and continues)."""
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        isolated = window == 1
+        wave: Dict[Any, _Unit] = {}
+        deadlines: Dict[Any, Optional[float]] = {}
+
+        while queue or wave:
+            while queue and len(wave) < window:
+                unit = queue.popleft()
+                self.runner._sleep_backoff(unit)
+                try:
+                    future = self._ensure_pool().submit(
+                        _execute_unit, self.runner, unit)
+                except BrokenProcessPool:
+                    # The pool died between passes; requeue and respawn.
+                    queue.appendleft(unit)
+                    self._broken(wave, attributed=isolated)
+                    return
+                wave[future] = unit
+                deadlines[future] = (
+                    None if self.runner.timeout is None
+                    else time.monotonic() + self.runner.timeout)
+
+            bounded = [d for d in deadlines.values() if d is not None]
+            wait_for = (max(0.0, min(bounded) - time.monotonic())
+                        if bounded else None)
+            done, _ = concurrent.futures.wait(
+                list(wave), timeout=wait_for,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:
+                now = time.monotonic()
+                expired = [future for future, deadline in deadlines.items()
+                           if deadline is not None and deadline <= now]
+                if expired:
+                    self._timed_out(expired, wave)
+                    return
+                continue
+            # Broken futures last: when a crash takes the pool down,
+            # results that did complete first are still harvested.
+            for future in sorted(
+                    done, key=lambda f: isinstance(f.exception(),
+                                                   BrokenProcessPool)):
+                unit = wave.pop(future)
+                deadlines.pop(future)
+                try:
+                    values = future.result()
+                except _faults.SweepAbort:
+                    raise
+                except BrokenProcessPool as error:
+                    if isolated:
+                        # Sole in-flight unit: the crash is its doing.
+                        follow = self.runner._after_failed_attempt(
+                            unit, "crash",
+                            f"worker process died ({error})", "",
+                            self.outcomes, self.journal)
+                        for sub in follow:
+                            sub.suspect = True
+                        self._requeue(follow)
+                        self._broken(wave, attributed=True)
+                    else:
+                        self.suspects.append(unit)
+                        self._broken(wave, attributed=False)
+                    return
+                except Exception as error:
+                    if self.runner.on_error == "raise":
+                        raise
+                    self._requeue(self.runner._after_failed_attempt(
+                        unit, "exception", repr(error),
+                        getattr(error, "__traceback_str__", ""),
+                        self.outcomes, self.journal))
+                    continue
+                unit.suspect = False  # proved healthy
+                self._requeue(self.runner._handle_values(
+                    unit, values, self.outcomes, self.journal))
+
+    # -- failure transitions -----------------------------------------------
+    def _broken(self, wave: Dict[Any, _Unit], attributed: bool) -> None:
+        """The pool died under ``wave``; requeue survivors as suspects."""
+        for unit in wave.values():
+            unit.suspect = True
+            self.suspects.append(unit)
+        wave.clear()
+        if not attributed:
+            self.breaks += 1
+        self._discard_pool(kill=True)
+
+    def _timed_out(self, expired: List[Any],
+                   wave: Dict[Any, _Unit]) -> None:
+        """Deadlines expired: charge the hung units, spare the rest."""
+        for future in expired:
+            unit = wave.pop(future)
+            follow = self.runner._after_failed_attempt(
+                unit, "timeout",
+                f"unit exceeded timeout={self.runner.timeout}s", "",
+                self.outcomes, self.journal)
+            for sub in follow:
+                sub.suspect = True
+            self._requeue(follow)
+        # In-flight innocents are requeued without an attempt charge.
+        self._requeue(wave.values())
+        wave.clear()
+        self._discard_pool(kill=True)
+
+    def _fall_through_in_process(self) -> None:
+        remaining = list(self.suspects) + list(self.pending)
+        self.suspects.clear()
+        self.pending.clear()
+        self._discard_pool(kill=True)
+        warnings.warn(
+            f"sweep process pool broke {self.breaks} times without an "
+            f"attributable unit; executing the remaining {len(remaining)} "
+            "unit(s) in-process (per-unit timeouts cannot be enforced "
+            "in-process)",
+            RuntimeWarning, stacklevel=2)
+        self.outcomes.extend(
+            self.runner._run_units_inprocess(remaining, self.journal))

@@ -194,15 +194,63 @@ def test_process_pool_falls_back_on_unpicklable_callables():
         SweepAxis("gain", (1.0, 2.0), structural=True),
     ])
     # Lambdas cannot cross a process boundary; the runner must still
-    # deliver correct results in-process.
-    result = SweepRunner(
+    # deliver correct results in-process — but loudly, naming the
+    # callables that blocked the pool.
+    runner = SweepRunner(
         grid,
         stimulus=lambda p: Waveform(np.ones(8), FS),
         build=lambda p: GainBlock(p["gain"]),
         measure=lambda wave, p: float(wave.data[0]),
         processes=2,
-    ).run()
+    )
+    with pytest.warns(RuntimeWarning, match="stimulus, build, measure"):
+        result = runner.run()
     assert result.results == [1.0, 2.0]
+
+
+def test_pool_probe_does_not_swallow_non_pickling_errors():
+    class ExplodingState:
+        def __call__(self, params):
+            return Waveform(np.ones(8), FS)
+
+        def __getstate__(self):
+            raise ValueError("stateful runner refused serialization")
+
+    runner = SweepRunner(
+        ScenarioGrid([SweepAxis("gain", (1.0, 2.0), structural=True)]),
+        stimulus=ExplodingState(),
+        measure=lambda wave, p: float(wave.data[0]),
+        processes=2,
+    )
+    # A __getstate__ that raises a non-pickling error is a bug in the
+    # user's object, not an unpicklable callable: it must propagate.
+    with pytest.raises(ValueError, match="refused serialization"):
+        runner.run()
+
+
+def test_serial_measure_batch_rebuilds_single_row_batches():
+    # run_serial has no batch: it must wrap each processed waveform in
+    # a one-row WaveformBatch preserving sample_rate and t0.
+    from repro.signals.batch import WaveformBatch
+
+    seen = []
+
+    def spy_measure_batch(batch, params_list):
+        assert isinstance(batch, WaveformBatch)
+        assert batch.n_scenarios == 1
+        assert len(params_list) == 1
+        seen.append((batch.sample_rate, batch.t0))
+        return [float(batch.data[0, 0])]
+
+    grid = ScenarioGrid([SweepAxis("level", (0.25, 0.75))])
+    runner = SweepRunner(
+        grid,
+        stimulus=lambda p: Waveform(np.full(8, p["level"]), FS, t0=3e-9),
+        measure_batch=spy_measure_batch,
+    )
+    result = runner.run_serial()
+    assert result.results == [0.25, 0.75]
+    assert seen == [(FS, 3e-9)] * 2
 
 
 # -- closed-loop CDR measure path ---------------------------------------------
