@@ -10,7 +10,10 @@ journaled ones on the next run.  The journal lives under
 where ``key`` is a canonical hash of everything that determines a
 unit's results: the grid's axes (names, structural flags, value
 content), the runner's stimulus / build / measure callables, the chunk
-size (it defines the unit boundaries) and the NaN-guard setting.  Two
+size (it defines the unit boundaries), and the failure policy
+(NaN guard, ``on_error``, ``max_attempts``, ``timeout`` — quarantine
+decisions are journaled, so they are only reusable under the policy
+that made them).  Two
 runners with the same fingerprint share a journal; anything else lands
 in its own subdirectory, so a stale ``checkpoint_dir`` can never leak
 wrong results into a different sweep.  Results are pickled, and a
@@ -59,6 +62,13 @@ def _sha(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _cell_repr(cell) -> str:
+    try:
+        return _clean_repr(cell.cell_contents)
+    except ValueError:  # yet-unbound cell, e.g. a recursive inner fn
+        return "<empty cell>"
+
+
 def describe_callable(fn) -> str:
     """A stable, content-sensitive fingerprint of a callable."""
     if fn is None:
@@ -81,7 +91,7 @@ def describe_callable(fn) -> str:
         parts.append("defaults:" + _clean_repr(defaults))
     closure = getattr(fn, "__closure__", None)
     if closure:
-        cells = [_clean_repr(cell.cell_contents) for cell in closure]
+        cells = [_cell_repr(cell) for cell in closure]
         parts.append("closure:" + _sha("|".join(cells))[:16])
     self_obj = getattr(fn, "__self__", None)  # bound methods
     if self_obj is not None:

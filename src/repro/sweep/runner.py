@@ -514,9 +514,13 @@ class SweepRunner:
 
     def _fingerprint(self) -> Dict[str, Any]:
         """What the checkpoint journal keys on: everything that
-        determines a unit's identity and results."""
+        determines a unit's identity and results — including the
+        failure policy (``on_error`` / ``max_attempts`` / ``timeout``),
+        so e.g. quarantine decisions journaled by an
+        ``on_error="quarantine"`` run are never replayed as silent
+        ``None`` rows under ``on_error="raise"``."""
         return {
-            "version": 1,
+            "version": 2,
             "grid": describe_grid(self.grid),
             "stimulus": describe_callable(self.stimulus),
             "build": describe_callable(self.build),
@@ -524,6 +528,9 @@ class SweepRunner:
             "measure_batch": describe_callable(self.measure_batch),
             "chunk_rows": self.chunk_rows,
             "nan_guard": self.nan_guard,
+            "on_error": self.on_error,
+            "max_attempts": self.max_attempts,
+            "timeout": self.timeout,
         }
 
     def _load_covering(self, unit: _Unit, journal: CheckpointJournal,
@@ -833,8 +840,14 @@ class _PoolSupervisor:
                 else:
                     self._pass(self.pending,
                                window=max(int(self.runner.processes), 1))
-        finally:
-            self._discard_pool(kill=False)
+        except BaseException:
+            # An exception is propagating (on_error="raise", abort,
+            # KeyboardInterrupt): in-flight workers may be mid-unit or
+            # hung, so kill them — a wait=True shutdown here would join
+            # a hung worker and wedge the raise forever.
+            self._discard_pool(kill=True)
+            raise
+        self._discard_pool(kill=False)
         return self.outcomes
 
     # -- pool lifecycle ----------------------------------------------------
@@ -899,14 +912,6 @@ class _PoolSupervisor:
             done, _ = concurrent.futures.wait(
                 list(wave), timeout=wait_for,
                 return_when=concurrent.futures.FIRST_COMPLETED)
-            if not done:
-                now = time.monotonic()
-                expired = [future for future, deadline in deadlines.items()
-                           if deadline is not None and deadline <= now]
-                if expired:
-                    self._timed_out(expired, wave)
-                    return
-                continue
             # Broken futures last: when a crash takes the pool down,
             # results that did complete first are still harvested.
             for future in sorted(
@@ -936,14 +941,26 @@ class _PoolSupervisor:
                 except Exception as error:
                     if self.runner.on_error == "raise":
                         raise
+                    # format_exception chains into the _RemoteTraceback
+                    # cause concurrent.futures attaches, so the quarantine
+                    # record carries the worker-side traceback.
                     self._requeue(self.runner._after_failed_attempt(
                         unit, "exception", repr(error),
-                        getattr(error, "__traceback_str__", ""),
+                        "".join(_traceback.format_exception(error)),
                         self.outcomes, self.journal))
                     continue
                 unit.suspect = False  # proved healthy
                 self._requeue(self.runner._handle_values(
                     unit, values, self.outcomes, self.journal))
+            # Deadlines are checked every iteration — not only when the
+            # pool went quiet — so a hung worker is charged on schedule
+            # even while a steady stream of other units completes.
+            now = time.monotonic()
+            expired = [future for future, deadline in deadlines.items()
+                       if deadline is not None and deadline <= now]
+            if expired:
+                self._timed_out(expired, wave)
+                return
 
     # -- failure transitions -----------------------------------------------
     def _broken(self, wave: Dict[Any, _Unit], attributed: bool) -> None:
@@ -958,7 +975,15 @@ class _PoolSupervisor:
 
     def _timed_out(self, expired: List[Any],
                    wave: Dict[Any, _Unit]) -> None:
-        """Deadlines expired: charge the hung units, spare the rest."""
+        """Deadlines expired: charge the hung units, spare the rest.
+
+        The pool is torn down (workers killed) *before* the expired
+        units are charged: under ``on_error="raise"`` the charge
+        raises once the retry budget is spent, and a still-live hung
+        worker would then be joined during cleanup, wedging the sweep
+        instead of raising.
+        """
+        self._discard_pool(kill=True)
         for future in expired:
             unit = wave.pop(future)
             follow = self.runner._after_failed_attempt(
@@ -971,7 +996,6 @@ class _PoolSupervisor:
         # In-flight innocents are requeued without an attempt charge.
         self._requeue(wave.values())
         wave.clear()
-        self._discard_pool(kill=True)
 
     def _fall_through_in_process(self) -> None:
         remaining = list(self.suspects) + list(self.pending)

@@ -8,6 +8,7 @@ picklable callables.  ``CALLS`` counts stimulus invocations in-process
 
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -215,6 +216,40 @@ def test_describe_callable_is_stable_and_content_sensitive():
         != describe_callable(closure_over(2))
 
 
+def test_describe_callable_tolerates_empty_closure_cell():
+    # A closure cell can be observed before it is bound (recursive
+    # inner functions, fingerprinting mid-construction); it must
+    # fingerprint as a placeholder, not crash run(checkpoint_dir=...).
+    def outer():
+        def fn(params):
+            return inner_value
+        description = describe_callable(fn)
+        inner_value = 1
+        assert fn(None) == inner_value
+        return description
+
+    assert "closure:" in outer()
+
+
+def test_checkpoint_key_separates_failure_policy(tmp_path):
+    quarantining = make_runner(on_error="quarantine", max_attempts=2)
+    with inject_faults([FaultRule(mode="raise", si=0, rows=(3,),
+                                  times=None)], tmp_path / "faults"):
+        first = quarantining.run(checkpoint_dir=tmp_path / "ckpt")
+    assert len(first.failures) == 1
+    # A raise-mode runner must not inherit the quarantined journal:
+    # its fingerprint differs, so everything re-runs and (faults now
+    # inactive) completes clean instead of replaying a None row
+    # without ever raising.
+    raising = make_runner(on_error="raise", max_attempts=2)
+    CALLS["stimulus"] = 0
+    clean = raising.run(checkpoint_dir=tmp_path / "ckpt")
+    assert CALLS["stimulus"] == 16
+    assert clean.failures == []
+    assert all(value is not None for value in clean.results)
+    assert len({p.name for p in (tmp_path / "ckpt").iterdir()}) == 2
+
+
 # -- retries and quarantine (in-process) --------------------------------------
 
 def test_transient_fault_is_retried_clean(tmp_path):
@@ -368,6 +403,32 @@ def test_pool_raise_mode_raises_on_persistent_crash(tmp_path):
                                   times=None)], tmp_path):
         with pytest.raises(RuntimeError, match="crash"):
             runner.run()
+
+
+def test_pool_raise_mode_raises_promptly_on_persistent_hang(tmp_path):
+    """The hung worker must be killed *before* the timeout charge
+    raises; otherwise the supervisor's cleanup joins it and the sweep
+    wedges for the length of the hang instead of raising."""
+    runner = make_runner(processes=2, on_error="raise", timeout=0.75,
+                         max_attempts=1, chunk_rows=8)
+    begin = time.monotonic()
+    with inject_faults([FaultRule(mode="hang", si=1, rows=(3,),
+                                  times=None, seconds=60.0)], tmp_path):
+        with pytest.raises(RuntimeError, match="timeout"):
+            runner.run()
+    assert time.monotonic() - begin < 30.0   # raised, didn't wedge
+
+
+def test_pool_exception_quarantine_captures_traceback(tmp_path):
+    runner = make_runner(processes=2, on_error="quarantine",
+                         max_attempts=2)
+    with inject_faults([FaultRule(mode="raise", si=0, rows=(3,),
+                                  times=None)], tmp_path):
+        result = runner.run()
+    assert len(result.failures) == 1
+    # The worker-side traceback travels through the _RemoteTraceback
+    # cause, not the (empty) local frames.
+    assert "FaultInjected" in result.failures[0].traceback
 
 
 # -- end-to-end acceptance ----------------------------------------------------
