@@ -1,0 +1,142 @@
+"""PAM4 through the batched facade, timed against NRZ.
+
+The modulation refactor replaced the hardcoded sign slicer with a
+``Modulation`` value that rides through the DFE, the CDR and the eye
+scope.  This bench pins what that generality costs and proves it is
+not paid on correctness:
+
+* **matched payload rate** — the same payload bits run as 10 Gb/s NRZ
+  and as 5 GBd PAM4 (same sample count per scenario) through
+  ``LinkSession.run_batch``; wall-clock for both is reported, and the
+  PAM4 pass must produce three sub-eyes per scenario with four-level
+  decisions.
+* **three-sub-eye measurement cost** — ``measure_eye_batch`` with the
+  PAM4 alphabet (3 sub-eyes, 4 level clusters) is timed against the
+  binary measurement on an equal-shape batch; the ratio is gated at
+  full scale only.
+* **decode exactness** — back-to-back (empty chain), the PAM4-sliced
+  DFE must recover the Gray-coded payload bits exactly.  Always
+  enforced, any scale.
+
+``BENCH_PAM4_SCENARIOS`` shrinks the batches for CI smoke runs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import measure_eye_batch
+from repro.link import ChannelConfig, DfeConfig, LinkSession, TxConfig
+from repro.reporting import format_table
+from repro.signals import Nrz, Pam4, SymbolEncoder, WaveformBatch
+
+PAYLOAD_BIT_RATE = 10e9
+N_SCENARIOS = int(os.environ.get("BENCH_PAM4_SCENARIOS", "200"))
+N_PAYLOAD_BITS = 240
+NOISE_RMS = 0.01
+SUB_EYE_COST_CEILING = 12.0  # 3 sub-eyes + 4 clusters vs 1 eye + 2
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def make_batch(modulation, n_scenarios):
+    """The same payload bits as NRZ or PAM4 at matched sample count."""
+    enc = SymbolEncoder(
+        symbol_rate=PAYLOAD_BIT_RATE / modulation.bits_per_symbol,
+        modulation=modulation, amplitude=0.4,
+        samples_per_symbol=8 * modulation.bits_per_symbol)
+    bits = np.random.default_rng(7).integers(0, 2, N_PAYLOAD_BITS)
+    wave = enc.encode_bits(bits)
+    return WaveformBatch.with_noise_seeds(
+        wave, rms_volts=NOISE_RMS,
+        seeds=list(range(1, n_scenarios + 1))), bits, wave
+
+
+def _session(modulation):
+    return LinkSession.from_configs(
+        tx=TxConfig(modulation=modulation), channel=ChannelConfig(0.1),
+        bit_rate=PAYLOAD_BIT_RATE / modulation.bits_per_symbol,
+        dfe=DfeConfig(taps=(0.05,), decision_amplitude=0.2))
+
+
+def test_pam4_vs_nrz_matched_payload(save_report, save_json):
+    """One payload, two line codes, one facade: timings + contracts."""
+    nrz, pam4 = Nrz(), Pam4()
+    nrz_batch, _, _ = make_batch(nrz, N_SCENARIOS)
+    pam4_batch, bits, clean_wave = make_batch(pam4, N_SCENARIOS)
+    assert nrz_batch.data.shape == pam4_batch.data.shape
+
+    sessions = {"nrz": _session(nrz), "pam4": _session(pam4)}
+    batches = {"nrz": nrz_batch, "pam4": pam4_batch}
+    timings, results = {}, {}
+    for name in ("nrz", "pam4"):
+        sessions[name].run_batch(batches[name][:2])  # warm
+        results[name], timings[name] = _time(
+            lambda name=name: sessions[name].run_batch(batches[name]))
+
+    # The PAM4 pass carried the alphabet through every layer.
+    for eye in results["pam4"].eyes:
+        assert eye.n_levels == 4 and eye.n_eyes == 3
+        assert all(h > 0 for h in eye.eye_heights)
+    assert int(results["pam4"].dfe_decisions.max()) == 3
+    for eye in results["nrz"].eyes:
+        assert eye.n_levels == 2 and eye.n_eyes == 1
+
+    # Three-sub-eye measurement cost on equal-shape received batches.
+    received = {name: results[name].output for name in ("nrz", "pam4")}
+    measure_eye_batch(received["nrz"][:2], PAYLOAD_BIT_RATE)  # warm
+    _, t_eye_nrz = _time(lambda: measure_eye_batch(
+        received["nrz"], PAYLOAD_BIT_RATE, modulation=nrz))
+    _, t_eye_pam4 = _time(lambda: measure_eye_batch(
+        received["pam4"], PAYLOAD_BIT_RATE / 2, modulation=pam4))
+    eye_cost_ratio = t_eye_pam4 / t_eye_nrz
+
+    # Back-to-back, the Gray decode is exact — any scale.
+    b2b = LinkSession([], bit_rate=PAYLOAD_BIT_RATE / 2, modulation=pam4,
+                      dfe=DfeConfig(taps=(1e-12,), decision_amplitude=0.2))
+    decisions = b2b.run(clean_wave).dfe_decisions
+    symbols = pam4.bits_to_symbols(bits)
+    n = min(len(decisions), len(symbols))
+    decode_exact = (
+        np.array_equal(decisions[:n], symbols[:n])
+        and np.array_equal(pam4.symbols_to_bits(decisions[:n]),
+                           bits[:2 * n]))
+
+    save_report("pam4_vs_nrz_link", format_table([
+        {
+            "line code": name,
+            "scenarios": N_SCENARIOS,
+            "payload Gb/s": PAYLOAD_BIT_RATE / 1e9,
+            "sub-eyes": results[name].eyes[0].n_eyes,
+            "run_batch (s)": timings[name],
+            "worst eye (mV)": 1e3 * min(e.eye_height
+                                        for e in results[name].eyes),
+        }
+        for name in ("nrz", "pam4")
+    ]))
+    save_json("pam4_link", {
+        "scenarios": N_SCENARIOS,
+        "payload_bits": N_PAYLOAD_BITS,
+        "payload_bit_rate_hz": PAYLOAD_BIT_RATE,
+        "run_batch_s": timings,
+        "pam4_over_nrz_runtime_x": timings["pam4"] / timings["nrz"],
+        "eye_measurement_s": {"nrz": t_eye_nrz, "pam4": t_eye_pam4},
+        "sub_eye_cost_ratio_x": eye_cost_ratio,
+        "sub_eye_cost_ceiling_x": SUB_EYE_COST_CEILING,
+        "cost_ceiling_enforced": N_SCENARIOS >= 200,
+        "back_to_back_decode_exact": decode_exact,
+    })
+
+    assert decode_exact, "back-to-back PAM4 Gray decode is not exact"
+    # The wall-clock gate only at full scale (smoke runs time
+    # milliseconds, where scheduler noise drowns the ratio).
+    if N_SCENARIOS >= 200:
+        assert eye_cost_ratio < SUB_EYE_COST_CEILING, (
+            f"three-sub-eye measurement costs {eye_cost_ratio:.1f}x the "
+            f"binary eye (ceiling {SUB_EYE_COST_CEILING}x)"
+        )

@@ -31,7 +31,12 @@ from .signals import (
     prbs15,
     prbs31,
     bits_to_nrz,
+    bits_to_pam4,
     NrzEncoder,
+    Modulation,
+    Nrz,
+    Pam4,
+    SymbolEncoder,
     RandomJitter,
     SinusoidalJitter,
     JitterBudget,
@@ -96,7 +101,7 @@ from .baselines import (
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
 from .sweep import (ScenarioGrid, SweepAxis, SweepFailure, SweepResult,
-                    SweepRunner)
+                    SweepRunner, modulation_axis)
 from .link import (
     Stage,
     stage,
@@ -122,7 +127,12 @@ __all__ = [
     "prbs15",
     "prbs31",
     "bits_to_nrz",
+    "bits_to_pam4",
     "NrzEncoder",
+    "Modulation",
+    "Nrz",
+    "Pam4",
+    "SymbolEncoder",
     "RandomJitter",
     "SinusoidalJitter",
     "JitterBudget",
@@ -184,6 +194,7 @@ __all__ = [
     "LinkReport",
     "ScenarioGrid",
     "SweepAxis",
+    "modulation_axis",
     "SweepFailure",
     "SweepRunner",
     "SweepResult",

@@ -15,6 +15,9 @@ from .eye import (
 from .ber import (
     q_to_ber,
     ber_to_q,
+    ser_to_ber,
+    ber_from_q_factors,
+    ber_from_measurement,
     ber_from_eye,
     ber_from_eye_batch,
     BathtubCurve,
@@ -58,6 +61,9 @@ __all__ = [
     "measure_eye_batch",
     "q_to_ber",
     "ber_to_q",
+    "ser_to_ber",
+    "ber_from_q_factors",
+    "ber_from_measurement",
     "ber_from_eye",
     "ber_from_eye_batch",
     "BathtubCurve",

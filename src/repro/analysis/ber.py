@@ -6,6 +6,20 @@ through the Q-factor formalism (Personick): sampling a one/zero of means
 
     BER = 0.5 * erfc(Q / sqrt(2)),   Q = (mu1 - mu0) / (s1 + s0)
 
+Multi-level signaling generalizes the same formalism per sub-eye: each
+of the ``L - 1`` decision thresholds is adjacent to two of the ``L``
+equiprobable levels, so the symbol-error ratio is
+
+    SER = (2 / L) * sum_e 0.5 * erfc(Q_e / sqrt(2))
+
+over the per-sub-eye Q-factors, and under Gray coding a symbol error
+corrupts (almost always) exactly one of ``log2(L)`` bits:
+
+    BER = SER / log2(L)
+
+For NRZ (L = 2, one eye, one bit per symbol) this reduces exactly to
+the binary formula.
+
 The horizontal equivalent — BER versus sampling-phase offset, with the
 two crossing distributions encroaching from either side — is the
 *bathtub curve* used to specify timing margin at a target BER.
@@ -15,15 +29,18 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy.special import erfc, erfcinv
 
-from .eye import EyeDiagram, measure_eye_batch
+from .eye import EyeDiagram, EyeMeasurement, measure_eye_batch
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation, Nrz
 from ..signals.waveform import Waveform
 
-__all__ = ["q_to_ber", "ber_to_q", "ber_from_eye", "ber_from_eye_batch",
+__all__ = ["q_to_ber", "ber_to_q", "ser_to_ber", "ber_from_q_factors",
+           "ber_from_measurement", "ber_from_eye", "ber_from_eye_batch",
            "BathtubCurve", "bathtub_from_waveform"]
 
 
@@ -41,27 +58,89 @@ def ber_to_q(ber: float) -> float:
     return float(math.sqrt(2.0) * erfcinv(2.0 * ber))
 
 
-def ber_from_eye(wave: Waveform, bit_rate: float, skip_ui: int = 8) -> float:
-    """Estimated BER of a waveform via its eye Q-factor."""
-    measurement = EyeDiagram.measure_waveform(wave, bit_rate, skip_ui=skip_ui)
+def ser_to_ber(ser: float, modulation: Optional[Modulation] = None) -> float:
+    """Symbol-error ratio -> bit-error ratio under Gray coding.
+
+    Adjacent-level slicer errors dominate, and Gray coding makes each
+    of them a single-bit error among ``bits_per_symbol`` bits.
+    """
+    modulation = Nrz() if modulation is None else modulation
+    if ser < 0:
+        raise ValueError(f"SER must be >= 0, got {ser}")
+    return float(ser) / modulation.bits_per_symbol
+
+
+def ber_from_q_factors(q_factors: Sequence[float],
+                       modulation: Optional[Modulation] = None) -> float:
+    """Combined BER from per-sub-eye Q-factors.
+
+    Each of the ``L - 1`` thresholds is crossed by the Gaussian tails of
+    the two adjacent levels, each level carrying probability ``1/L``, so
+    ``SER = (2/L) * sum_e 0.5*erfc(Q_e/sqrt(2))``; Gray coding then
+    divides by ``bits_per_symbol``.  Reduces exactly to
+    :func:`q_to_ber` of the single Q for NRZ.  Non-finite Q-factors
+    (noise-free eyes) contribute zero errors.
+    """
+    modulation = Nrz() if modulation is None else modulation
+    if len(q_factors) != modulation.n_eyes:
+        raise ValueError(
+            f"expected {modulation.n_eyes} Q-factors for "
+            f"{modulation.name}, got {len(q_factors)}"
+        )
+    total = 0.0
+    for q in q_factors:
+        if not math.isfinite(q):
+            continue
+        if q < 0:
+            raise ValueError(f"Q must be >= 0, got {q}")
+        total += float(0.5 * erfc(q / math.sqrt(2.0)))
+    ser = (2.0 / modulation.n_levels) * total
+    return ser / modulation.bits_per_symbol
+
+
+def ber_from_measurement(measurement: EyeMeasurement,
+                         modulation: Optional[Modulation] = None) -> float:
+    """BER of an :class:`EyeMeasurement` (per-sub-eye when present)."""
+    q_factors = (measurement.q_factors
+                 if measurement.q_factors is not None
+                 else (measurement.q_factor,))
+    return ber_from_q_factors(q_factors, modulation)
+
+
+def ber_from_eye(wave: Waveform, bit_rate: float, skip_ui: int = 8,
+                 modulation: Optional[Modulation] = None) -> float:
+    """Estimated BER of a waveform via its eye Q-factor(s)."""
+    measurement = EyeDiagram.measure_waveform(wave, bit_rate, skip_ui=skip_ui,
+                                              modulation=modulation)
     if not math.isfinite(measurement.q_factor):
         return 0.0
-    return q_to_ber(measurement.q_factor)
+    return ber_from_measurement(measurement, modulation)
 
 
 def ber_from_eye_batch(batch: WaveformBatch, bit_rate: float,
-                       skip_ui: int = 8) -> np.ndarray:
+                       skip_ui: int = 8,
+                       modulation: Optional[Modulation] = None) -> np.ndarray:
     """Per-scenario BER estimates of a batch via eye Q-factors.
 
     The eyes are folded and measured in one batched pass; the Q-to-BER
     map is evaluated vectorized.  Row ``i`` equals
     ``ber_from_eye(batch[i], ...)``.
     """
-    measurements = measure_eye_batch(batch, bit_rate, skip_ui=skip_ui)
-    qs = np.array([m.q_factor for m in measurements])
+    modulation = Nrz() if modulation is None else modulation
+    measurements = measure_eye_batch(batch, bit_rate, skip_ui=skip_ui,
+                                     modulation=modulation)
+    qs = np.array([m.q_factors if m.q_factors is not None
+                   else (m.q_factor,) * modulation.n_eyes
+                   for m in measurements])
     # Eye Q-factors are >= 0 and erfc(inf) == 0.0 exactly, matching the
     # serial path's "infinite Q means zero BER" convention.
-    return 0.5 * erfc(qs / math.sqrt(2.0))
+    per_eye = 0.5 * erfc(qs / math.sqrt(2.0))
+    if modulation.n_levels == 2:
+        # Binary fast path: (2/L) == 1 and one bit per symbol — keep the
+        # historical expression (and its exact float results).
+        return per_eye[:, 0]
+    ser = (2.0 / modulation.n_levels) * per_eye.sum(axis=1)
+    return ser / modulation.bits_per_symbol
 
 
 @dataclasses.dataclass(frozen=True)

@@ -6,20 +6,30 @@ paper's Figs 14-16 are read by eye — vertical opening (eye height),
 horizontal opening (eye width), crossing jitter and the Q-factor that
 connects the eye to a bit-error ratio.
 
-Conventions: waveforms are differential-mode, so the decision threshold
-is 0 V; all horizontal quantities can be read in seconds or unit
-intervals (UI).
+Multi-level signals (:class:`~repro.signals.modulation.Modulation`) fold
+into ``L - 1`` stacked sub-eyes; every vertical metric is then computed
+per sub-eye and the scalar fields of :class:`EyeMeasurement` report the
+*worst* sub-eye (the one that limits the link), with the per-eye values
+kept alongside.  For the default two-level NRZ the decision threshold is
+exactly 0 V (differential signaling) and everything reduces to the
+classic single-eye measurement, bit for bit.  For ``L > 2`` thresholds
+are estimated from the folded traces themselves (min/max swing fit plus
+one Lloyd refinement of the level clusters), since the received swing is
+generally unknown after a lossy channel.
+
+All horizontal quantities can be read in seconds or unit intervals (UI).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation, Nrz
 from ..signals.waveform import Waveform
 
 __all__ = ["EyeMeasurement", "EyeDiagram", "EyeDiagramBatch",
@@ -45,11 +55,44 @@ def _center_crossings_ui(crossings: np.ndarray) -> np.ndarray:
     return np.mod(crossings - center + 0.5, 1.0) - 0.5 + center
 
 
+def _estimate_thresholds(traces: np.ndarray,
+                         modulation: Modulation) -> np.ndarray:
+    """Estimate per-sub-eye decision thresholds from folded traces.
+
+    Nominal thresholds from the observed min/max swing, then one Lloyd
+    refinement: slice, take the mean of each level cluster, re-midpoint.
+    Only used for ``L > 2`` — the NRZ threshold is exactly 0 V and is
+    never estimated (that keeps the binary path bit-exact).
+    """
+    flat = traces.reshape(-1)
+    lo = float(flat.min())
+    hi = float(flat.max())
+    swing = hi - lo
+    if swing <= 0:
+        return np.zeros(modulation.n_eyes)
+    center = 0.5 * (lo + hi)
+    nominal_levels = center + modulation.level_values(swing)
+    thresholds = center + modulation.threshold_values(swing)
+    counts = np.searchsorted(thresholds, flat, side="left")
+    means = np.array([
+        float(flat[counts == i].mean()) if np.any(counts == i)
+        else float(nominal_levels[i])
+        for i in range(modulation.n_levels)
+    ])
+    return (means[:-1] + means[1:]) / 2.0
+
+
 @dataclasses.dataclass(frozen=True)
 class EyeMeasurement:
     """The numbers a scope's eye-mask panel reports.
 
     All voltages in volts, times in seconds unless suffixed ``_ui``.
+    For multi-level signals the scalar fields report the *worst* of the
+    ``L - 1`` sub-eyes (index :attr:`worst_eye`) and the per-eye values
+    are kept in the ``*_by_eye``-style tuples; ``level_one`` /
+    ``level_zero`` are the outermost level means and :attr:`levels`
+    holds all of them.  For NRZ (the default) there is a single eye and
+    the scalars are the classic measurement.
     """
 
     eye_height: float
@@ -62,6 +105,19 @@ class EyeMeasurement:
     q_factor: float
     sampling_phase_ui: float
     n_ui: int
+    n_levels: int = 2
+    worst_eye: int = 0
+    eye_heights: Optional[Tuple[float, ...]] = None
+    eye_widths_ui: Optional[Tuple[float, ...]] = None
+    eye_jitter_rms_ui: Optional[Tuple[float, ...]] = None
+    eye_jitter_pp_ui: Optional[Tuple[float, ...]] = None
+    q_factors: Optional[Tuple[float, ...]] = None
+    levels: Optional[Tuple[float, ...]] = None
+
+    @property
+    def n_eyes(self) -> int:
+        """Number of vertical sub-eyes (1 for NRZ, 3 for PAM4)."""
+        return self.n_levels - 1
 
     @property
     def eye_opening_fraction(self) -> float:
@@ -72,7 +128,8 @@ class EyeMeasurement:
 
     @property
     def is_open(self) -> bool:
-        """True when both height and width are positive."""
+        """True when both height and width are positive (every sub-eye:
+        the scalars are the worst one)."""
         return self.eye_height > 0 and self.eye_width_ui > 0
 
 
@@ -83,16 +140,19 @@ class EyeDiagram:
     ----------
     wave:
         The waveform to fold.  Its sample rate must be an integer
-        multiple of ``bit_rate`` (the NRZ encoder guarantees this); other
+        multiple of ``bit_rate`` (the encoder guarantees this); other
         rates are resampled automatically.
     bit_rate:
-        The line rate defining the unit interval.
+        The symbol (UI) rate defining the unit interval.
     skip_ui:
         Unit intervals dropped from the start (filter settling).  The
         default drops 8 UI.
+    modulation:
+        Level alphabet of the signal; ``None`` means two-level NRZ.
     """
 
-    def __init__(self, wave: Waveform, bit_rate: float, skip_ui: int = 8):
+    def __init__(self, wave: Waveform, bit_rate: float, skip_ui: int = 8,
+                 modulation: Optional[Modulation] = None):
         if bit_rate <= 0:
             raise ValueError(f"bit_rate must be positive, got {bit_rate}")
         if skip_ui < 0:
@@ -110,6 +170,7 @@ class EyeDiagram:
             )
         self.bit_rate = bit_rate
         self.unit_interval = 1.0 / bit_rate
+        self.modulation = Nrz() if modulation is None else modulation
 
         data = wave.data[skip_ui * self.samples_per_ui:]
         n_ui = len(data) // self.samples_per_ui
@@ -121,6 +182,7 @@ class EyeDiagram:
             n_ui, self.samples_per_ui
         )
         self.n_ui = n_ui
+        self._thresholds: Optional[np.ndarray] = None
 
     # -- folded views ---------------------------------------------------------
     def two_ui_traces(self) -> np.ndarray:
@@ -137,38 +199,78 @@ class EyeDiagram:
         return (np.arange(self.samples_per_ui) + 0.5) / self.samples_per_ui
 
     # -- vertical measurements --------------------------------------------
-    def _split_levels(self, phase_index: int
-                      ) -> tuple[np.ndarray, np.ndarray]:
-        """Samples at a phase, split into logical one/zero clusters."""
+    def decision_thresholds(self) -> np.ndarray:
+        """Per-sub-eye decision thresholds, in volts.
+
+        Exactly ``[0.0]`` for two-level signaling (differential NRZ
+        slices at zero by construction); estimated from the traces for
+        ``L > 2`` (see :func:`_estimate_thresholds`).
+        """
+        if self._thresholds is None:
+            if self.modulation.n_levels == 2:
+                self._thresholds = np.zeros(1)
+            else:
+                self._thresholds = _estimate_thresholds(self.traces,
+                                                        self.modulation)
+        return self._thresholds
+
+    def _level_clusters(self, phase_index: int) -> List[np.ndarray]:
+        """Samples at a phase, split into per-level clusters (lowest
+        level first).  For NRZ this is the classic zero/one split."""
         column = self.traces[:, phase_index]
-        ones = column[column > 0]
-        zeros = column[column <= 0]
-        return ones, zeros
+        counts = np.searchsorted(self.decision_thresholds(), column,
+                                 side="left")
+        return [column[counts == i]
+                for i in range(self.modulation.n_levels)]
+
+    def eye_heights_at(self, phase_index: int) -> np.ndarray:
+        """Per-sub-eye vertical opening at a sampling phase.
+
+        Sub-eye ``e`` opens between level clusters ``e`` and ``e + 1``:
+        ``min(upper cluster) - max(lower cluster)`` — negative when that
+        sub-eye is closed, ``-inf`` when a cluster is empty.
+        """
+        clusters = self._level_clusters(phase_index)
+        heights = np.empty(self.modulation.n_eyes)
+        for e in range(self.modulation.n_eyes):
+            upper, lower = clusters[e + 1], clusters[e]
+            if upper.size == 0 or lower.size == 0:
+                heights[e] = -float("inf")
+            else:
+                heights[e] = float(upper.min() - lower.max())
+        return heights
 
     def eye_height_at(self, phase_index: int) -> float:
-        """Worst-case vertical opening at a sampling phase.
-
-        ``min(one samples) - max(zero samples)`` — negative when the eye
-        is closed at that phase.
-        """
-        ones, zeros = self._split_levels(phase_index)
-        if ones.size == 0 or zeros.size == 0:
-            return -float("inf")
-        return float(ones.min() - zeros.max())
+        """Worst-sub-eye vertical opening at a sampling phase."""
+        return float(np.min(self.eye_heights_at(phase_index)))
 
     def best_phase_index(self) -> int:
-        """The sampling phase maximizing the vertical opening."""
+        """The sampling phase maximizing the (worst-sub-eye) opening."""
         heights = [self.eye_height_at(i) for i in range(self.samples_per_ui)]
         return int(np.argmax(heights))
 
     # -- horizontal measurements ----------------------------------------------
-    def crossing_times_ui(self) -> np.ndarray:
-        """Zero-crossing positions of all edges, in UI modulo 1.
+    def _eye_index(self, eye: Optional[int]) -> int:
+        if eye is None:
+            return self.modulation.center_threshold_index
+        if not 0 <= eye < self.modulation.n_eyes:
+            raise ValueError(
+                f"eye must be in 0..{self.modulation.n_eyes - 1}, got {eye}"
+            )
+        return int(eye)
+
+    def crossing_times_ui(self, eye: Optional[int] = None) -> np.ndarray:
+        """Threshold-crossing positions of all edges, in UI modulo 1.
 
         Linear interpolation between the bracketing samples; the
-        distribution's spread is the crossing jitter.
+        distribution's spread is the crossing jitter.  ``eye`` selects
+        the sub-eye threshold; the default is the middle eye (the zero
+        crossing for NRZ — the edge the bang-bang CDR locks to).
         """
+        threshold = float(self.decision_thresholds()[self._eye_index(eye)])
         flat = self.traces.reshape(-1)
+        if threshold != 0.0:
+            flat = flat - threshold
         sign = np.sign(flat)
         sign[sign == 0] = 1
         idx = np.flatnonzero(np.diff(sign) != 0)
@@ -184,23 +286,23 @@ class EyeDiagram:
         # spread (a straddling cluster defeats linear centering).
         return _center_crossings_ui(crossings)
 
-    def jitter_rms_ui(self) -> float:
-        """RMS crossing jitter in UI."""
-        times = self.crossing_times_ui()
+    def jitter_rms_ui(self, eye: Optional[int] = None) -> float:
+        """RMS crossing jitter in UI (middle sub-eye by default)."""
+        times = self.crossing_times_ui(eye)
         if times.size < 2:
             return 0.0
         return float(np.std(times))
 
-    def jitter_pp_ui(self) -> float:
-        """Peak-to-peak crossing jitter in UI."""
-        times = self.crossing_times_ui()
+    def jitter_pp_ui(self, eye: Optional[int] = None) -> float:
+        """Peak-to-peak crossing jitter in UI (middle eye by default)."""
+        times = self.crossing_times_ui(eye)
         if times.size < 2:
             return 0.0
         return float(np.ptp(times))
 
-    def eye_width_ui(self) -> float:
+    def eye_width_ui(self, eye: Optional[int] = None) -> float:
         """Horizontal opening: 1 UI minus the peak-to-peak jitter."""
-        return max(0.0, 1.0 - self.jitter_pp_ui())
+        return max(0.0, 1.0 - self.jitter_pp_ui(eye))
 
     # -- composite measurement ------------------------------------------------
     def measure(self) -> EyeMeasurement:
@@ -209,54 +311,82 @@ class EyeDiagram:
 
     def measure_at(self, phase: int) -> EyeMeasurement:
         """Scope-style measurement at a given sampling-phase index."""
-        ones, zeros = self._split_levels(phase)
-        if ones.size == 0 or zeros.size == 0:
-            # Degenerate (all-same-polarity) signal: report a closed eye.
+        clusters = self._level_clusters(phase)
+        n_levels = self.modulation.n_levels
+        n_eyes = self.modulation.n_eyes
+        if any(cluster.size == 0 for cluster in clusters):
+            # Degenerate signal (some level never observed at this
+            # phase): report a closed eye.
             level = float(self.traces.mean())
             return EyeMeasurement(
                 eye_height=-float("inf"), eye_width_ui=0.0,
                 eye_amplitude=0.0, level_one=level, level_zero=level,
                 jitter_rms=0.0, jitter_pp=0.0, q_factor=0.0,
                 sampling_phase_ui=phase / self.samples_per_ui,
-                n_ui=self.n_ui,
+                n_ui=self.n_ui, n_levels=n_levels,
             )
-        level_one = float(ones.mean())
-        level_zero = float(zeros.mean())
-        sigma_one = float(ones.std())
-        sigma_zero = float(zeros.std())
+        means = [float(cluster.mean()) for cluster in clusters]
+        sigmas = [float(cluster.std()) for cluster in clusters]
+        level_one = means[-1]
+        level_zero = means[0]
         amplitude = level_one - level_zero
-        denominator = sigma_one + sigma_zero
-        q = amplitude / denominator if denominator > 0 else float("inf")
-        # One pass over the crossing distribution for all horizontal
+        q_factors = []
+        for e in range(n_eyes):
+            separation = means[e + 1] - means[e]
+            denominator = sigmas[e + 1] + sigmas[e]
+            q_factors.append(separation / denominator
+                             if denominator > 0 else float("inf"))
+        heights = self.eye_heights_at(phase)
+        # One pass over each crossing distribution for all horizontal
         # metrics (it is the costly part of a measurement).
-        times = self.crossing_times_ui()
-        jitter_rms_ui = float(np.std(times)) if times.size >= 2 else 0.0
-        jitter_pp_ui = float(np.ptp(times)) if times.size >= 2 else 0.0
+        jitter_rms_by_eye = []
+        jitter_pp_by_eye = []
+        for e in range(n_eyes):
+            times = self.crossing_times_ui(eye=e)
+            jitter_rms_by_eye.append(float(np.std(times))
+                                     if times.size >= 2 else 0.0)
+            jitter_pp_by_eye.append(float(np.ptp(times))
+                                    if times.size >= 2 else 0.0)
+        widths = [max(0.0, 1.0 - pp) for pp in jitter_pp_by_eye]
+        worst_eye = int(np.argmin(heights))
+        worst_jitter_rms = max(jitter_rms_by_eye)
+        worst_jitter_pp = max(jitter_pp_by_eye)
         return EyeMeasurement(
-            eye_height=self.eye_height_at(phase),
-            eye_width_ui=max(0.0, 1.0 - jitter_pp_ui),
+            eye_height=float(np.min(heights)),
+            eye_width_ui=min(widths),
             eye_amplitude=amplitude,
             level_one=level_one,
             level_zero=level_zero,
-            jitter_rms=jitter_rms_ui * self.unit_interval,
-            jitter_pp=jitter_pp_ui * self.unit_interval,
-            q_factor=q,
+            jitter_rms=worst_jitter_rms * self.unit_interval,
+            jitter_pp=worst_jitter_pp * self.unit_interval,
+            q_factor=min(q_factors),
             sampling_phase_ui=(phase + 0.5) / self.samples_per_ui,
             n_ui=self.n_ui,
+            n_levels=n_levels,
+            worst_eye=worst_eye,
+            eye_heights=tuple(float(h) for h in heights),
+            eye_widths_ui=tuple(widths),
+            eye_jitter_rms_ui=tuple(jitter_rms_by_eye),
+            eye_jitter_pp_ui=tuple(jitter_pp_by_eye),
+            q_factors=tuple(q_factors),
+            levels=tuple(means),
         )
 
     # -- convenience ----------------------------------------------------------
     @classmethod
     def measure_waveform(cls, wave: Waveform, bit_rate: float,
                          skip_ui: int = 8,
-                         max_ui: Optional[int] = None) -> EyeMeasurement:
+                         max_ui: Optional[int] = None,
+                         modulation: Optional[Modulation] = None
+                         ) -> EyeMeasurement:
         """One-call fold-and-measure."""
-        eye = cls(wave, bit_rate, skip_ui=skip_ui)
+        eye = cls(wave, bit_rate, skip_ui=skip_ui, modulation=modulation)
         del max_ui  # reserved for future windowed measurement
         return eye.measure()
 
     @classmethod
-    def _from_folded(cls, traces: np.ndarray, bit_rate: float
+    def _from_folded(cls, traces: np.ndarray, bit_rate: float,
+                     modulation: Optional[Modulation] = None
                      ) -> "EyeDiagram":
         """Internal: wrap already-folded ``(n_ui, samples_per_ui)`` traces."""
         eye = cls.__new__(cls)
@@ -265,6 +395,8 @@ class EyeDiagram:
         eye.samples_per_ui = traces.shape[1]
         eye.traces = traces
         eye.n_ui = traces.shape[0]
+        eye.modulation = Nrz() if modulation is None else modulation
+        eye._thresholds = None
         return eye
 
 
@@ -276,14 +408,17 @@ class EyeDiagramBatch:
     scenarios at once; each row's :class:`EyeMeasurement` is then
     assembled through the same code path as the serial
     :class:`EyeDiagram`, so batched results match per-waveform
-    measurements exactly.
+    measurements exactly.  Multi-level batches estimate decision
+    thresholds per row from that row's own traces, matching what the
+    serial path computes for the same waveform.
 
     The batch sample rate must be an integer multiple of ``bit_rate``
-    (the NRZ encoder guarantees this; batches are never resampled).
+    (the encoder guarantees this; batches are never resampled).
     """
 
     def __init__(self, batch: WaveformBatch, bit_rate: float,
-                 skip_ui: int = 8):
+                 skip_ui: int = 8,
+                 modulation: Optional[Modulation] = None):
         if bit_rate <= 0:
             raise ValueError(f"bit_rate must be positive, got {bit_rate}")
         if skip_ui < 0:
@@ -302,6 +437,7 @@ class EyeDiagramBatch:
             )
         self.bit_rate = bit_rate
         self.unit_interval = 1.0 / bit_rate
+        self.modulation = Nrz() if modulation is None else modulation
 
         data = batch.data[:, skip_ui * self.samples_per_ui:]
         n_ui = data.shape[1] // self.samples_per_ui
@@ -314,35 +450,87 @@ class EyeDiagramBatch:
         )
         self.n_ui = n_ui
         self.n_scenarios = batch.n_scenarios
-        self._crossings: "List[np.ndarray] | None" = None
-        self._jitter: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._thresholds: Optional[np.ndarray] = None
+        self._crossings: Dict[int, List[np.ndarray]] = {}
+        self._jitter: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def decision_thresholds(self) -> np.ndarray:
+        """Per-row decision thresholds, shape ``(n_scenarios, L - 1)``.
+
+        Exactly zero for two-level signaling; estimated per row from
+        that row's folded traces for ``L > 2`` (identical to what the
+        serial :class:`EyeDiagram` computes for the same waveform)."""
+        if self._thresholds is None:
+            if self.modulation.n_levels == 2:
+                self._thresholds = np.zeros((self.n_scenarios, 1))
+            else:
+                self._thresholds = np.stack([
+                    _estimate_thresholds(self.traces[i], self.modulation)
+                    for i in range(self.n_scenarios)
+                ])
+        return self._thresholds
 
     def eye_heights(self) -> np.ndarray:
-        """Vertical opening per (scenario, phase), shape
+        """Worst-sub-eye vertical opening per (scenario, phase), shape
         ``(n_scenarios, samples_per_ui)`` — one vectorized pass."""
-        ones_mask = self.traces > 0
-        ones_min = np.min(np.where(ones_mask, self.traces, np.inf), axis=1)
-        zeros_max = np.max(np.where(ones_mask, -np.inf, self.traces), axis=1)
-        valid = ones_mask.any(axis=1) & (~ones_mask).any(axis=1)
-        return np.where(valid, ones_min - zeros_max, -np.inf)
+        if self.modulation.n_levels == 2:
+            # Binary fast path: threshold exactly 0, single sub-eye.
+            ones_mask = self.traces > 0
+            ones_min = np.min(np.where(ones_mask, self.traces, np.inf),
+                              axis=1)
+            zeros_max = np.max(np.where(ones_mask, -np.inf, self.traces),
+                               axis=1)
+            valid = ones_mask.any(axis=1) & (~ones_mask).any(axis=1)
+            return np.where(valid, ones_min - zeros_max, -np.inf)
+        thresholds = self.decision_thresholds()
+        counts = np.zeros(self.traces.shape, dtype=np.int8)
+        for e in range(self.modulation.n_eyes):
+            counts += self.traces > thresholds[:, e, None, None]
+        worst: Optional[np.ndarray] = None
+        for e in range(self.modulation.n_eyes):
+            upper_mask = counts == e + 1
+            lower_mask = counts == e
+            upper_min = np.min(np.where(upper_mask, self.traces, np.inf),
+                               axis=1)
+            lower_max = np.max(np.where(lower_mask, self.traces, -np.inf),
+                               axis=1)
+            valid = upper_mask.any(axis=1) & lower_mask.any(axis=1)
+            height = np.where(valid, upper_min - lower_max, -np.inf)
+            worst = height if worst is None else np.minimum(worst, height)
+        return worst
 
     def best_phase_indices(self) -> np.ndarray:
         """Per-scenario sampling phase maximizing the vertical opening."""
         return np.argmax(self.eye_heights(), axis=1)
 
     # -- horizontal measurements (vectorized extraction) -------------------
-    def crossing_times_ui(self) -> List[np.ndarray]:
-        """Per-scenario zero-crossing positions in UI modulo 1.
+    def _eye_index(self, eye: Optional[int]) -> int:
+        if eye is None:
+            return self.modulation.center_threshold_index
+        if not 0 <= eye < self.modulation.n_eyes:
+            raise ValueError(
+                f"eye must be in 0..{self.modulation.n_eyes - 1}, got {eye}"
+            )
+        return int(eye)
+
+    def crossing_times_ui(self, eye: Optional[int] = None
+                          ) -> List[np.ndarray]:
+        """Per-scenario threshold-crossing positions in UI modulo 1.
 
         The extraction — sign changes, bracketing-sample interpolation —
         runs as one vectorized pass over the whole batch, cached across
         the horizontal-metric accessors; only the cheap per-row circular
         centering loops in Python.  Row ``i`` equals
-        ``EyeDiagram.crossing_times_ui()`` of that scenario exactly.
+        ``EyeDiagram.crossing_times_ui(eye)`` of that scenario exactly.
+        ``eye`` selects the sub-eye threshold (middle eye by default).
         """
-        if self._crossings is not None:
-            return self._crossings
+        e = self._eye_index(eye)
+        if e in self._crossings:
+            return self._crossings[e]
         flat = self.traces.reshape(self.n_scenarios, -1)
+        thresholds = self.decision_thresholds()[:, e]
+        if np.any(thresholds != 0.0):
+            flat = flat - thresholds[:, None]
         sign = np.sign(flat)
         sign[sign == 0] = 1
         rows, cols = np.nonzero(np.diff(sign, axis=1) != 0)
@@ -358,51 +546,57 @@ class EyeDiagramBatch:
             chunk = crossings[offsets[i]:offsets[i + 1]]
             out.append(_center_crossings_ui(chunk) if chunk.size
                        else np.array([]))
-        self._crossings = out
+        self._crossings[e] = out
         return out
 
-    def _horizontal_metrics(self) -> tuple[np.ndarray, np.ndarray]:
+    def _horizontal_metrics(self, eye: Optional[int] = None
+                            ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-row (RMS, peak-to-peak) crossing jitter from one cached
         extraction pass."""
-        if self._jitter is not None:
-            return self._jitter
+        e = self._eye_index(eye)
+        if e in self._jitter:
+            return self._jitter[e]
         rms = np.zeros(self.n_scenarios)
         pp = np.zeros(self.n_scenarios)
-        for i, times in enumerate(self.crossing_times_ui()):
+        for i, times in enumerate(self.crossing_times_ui(e)):
             if times.size >= 2:
                 rms[i] = float(np.std(times))
                 pp[i] = float(np.ptp(times))
-        self._jitter = (rms, pp)
+        self._jitter[e] = (rms, pp)
         return rms, pp
 
-    def jitter_rms_ui(self) -> np.ndarray:
-        """Per-row RMS crossing jitter in UI."""
-        return self._horizontal_metrics()[0]
+    def jitter_rms_ui(self, eye: Optional[int] = None) -> np.ndarray:
+        """Per-row RMS crossing jitter in UI (middle eye by default)."""
+        return self._horizontal_metrics(eye)[0]
 
-    def jitter_pp_ui(self) -> np.ndarray:
+    def jitter_pp_ui(self, eye: Optional[int] = None) -> np.ndarray:
         """Per-row peak-to-peak crossing jitter in UI."""
-        return self._horizontal_metrics()[1]
+        return self._horizontal_metrics(eye)[1]
 
-    def eye_width_ui(self) -> np.ndarray:
+    def eye_width_ui(self, eye: Optional[int] = None) -> np.ndarray:
         """Per-row horizontal opening: 1 UI minus the p-p jitter."""
-        return np.maximum(0.0, 1.0 - self._horizontal_metrics()[1])
+        return np.maximum(0.0, 1.0 - self._horizontal_metrics(eye)[1])
 
     def measure_all(self) -> List[EyeMeasurement]:
         """One :class:`EyeMeasurement` per scenario."""
         phases = self.best_phase_indices()
         return [
-            EyeDiagram._from_folded(self.traces[row], self.bit_rate)
+            EyeDiagram._from_folded(self.traces[row], self.bit_rate,
+                                    self.modulation)
             .measure_at(int(phases[row]))
             for row in range(self.n_scenarios)
         ]
 
 
 def measure_eye_batch(batch: WaveformBatch, bit_rate: float,
-                      skip_ui: int = 8) -> List[EyeMeasurement]:
+                      skip_ui: int = 8,
+                      modulation: Optional[Modulation] = None
+                      ) -> List[EyeMeasurement]:
     """One-call batched fold-and-measure: one measurement per scenario.
 
-    Equivalent to ``[EyeDiagram.measure_waveform(row, bit_rate, skip_ui)
-    for row in batch.rows()]`` but with the folding and phase search
-    vectorized across the whole batch.
+    Equivalent to ``[EyeDiagram.measure_waveform(row, bit_rate, skip_ui,
+    modulation=modulation) for row in batch.rows()]`` but with the
+    folding and phase search vectorized across the whole batch.
     """
-    return EyeDiagramBatch(batch, bit_rate, skip_ui=skip_ui).measure_all()
+    return EyeDiagramBatch(batch, bit_rate, skip_ui=skip_ui,
+                           modulation=modulation).measure_all()

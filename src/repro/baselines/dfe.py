@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from .. import kernels
 from ..analysis.isi import pulse_response
 from ..lti.blocks import Block
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation, Nrz
 from ..signals.waveform import Waveform, sample_uniform
 
 __all__ = ["DecisionFeedbackEqualizer", "dfe_taps_from_channel",
@@ -47,27 +48,39 @@ __all__ = ["DecisionFeedbackEqualizer", "dfe_taps_from_channel",
 
 
 def inner_eye_height_from_corrected(corrected: np.ndarray,
-                                    skip_bits: int = 16):
+                                    skip_bits: int = 16,
+                                    thresholds=None):
     """Worst-case vertical opening of DFE-corrected samples.
 
-    ``min(one samples) - max(zero samples)`` after dropping the first
-    ``skip_bits`` decisions (feedback-history fill).  1-D input returns
-    a float; 2-D ``(n_scenarios, n_bits)`` input returns a per-row
-    array.  Rows whose corrected samples are all one polarity report
-    ``-inf`` (no eye to measure).
+    Per sub-eye ``min(upper cluster) - max(lower cluster)`` after
+    dropping the first ``skip_bits`` decisions (feedback-history fill),
+    reporting the worst sub-eye.  ``thresholds`` is the DFE's sorted
+    decision-threshold vector; the default ``[0.0]`` is the historical
+    binary inner eye.  1-D input returns a float; 2-D
+    ``(n_scenarios, n_bits)`` input returns a per-row array.  Rows
+    missing a level cluster report ``-inf`` (no eye to measure).
     """
     corrected = np.asarray(corrected, dtype=float)
+    thresholds = (np.zeros(1) if thresholds is None
+                  else np.asarray(thresholds, dtype=float))
     usable = corrected[..., skip_bits:]
     if usable.shape[-1] == 0:
         # Everything skipped: no samples to measure, hence no eye.
         height = np.full(usable.shape[:-1], -np.inf)
         return float(height) if corrected.ndim == 1 else height
-    ones_mask = usable > 0
-    ones_min = np.min(np.where(ones_mask, usable, np.inf), axis=-1)
-    zeros_max = np.max(np.where(ones_mask, -np.inf, usable), axis=-1)
-    valid = ones_mask.any(axis=-1) & (~ones_mask).any(axis=-1)
-    height = np.where(valid, ones_min - zeros_max, -np.inf)
-    return float(height) if corrected.ndim == 1 else height
+    counts = np.zeros(usable.shape, dtype=np.int8)
+    for threshold in thresholds:
+        counts += usable > threshold
+    worst = None
+    for e in range(len(thresholds)):
+        upper_mask = counts == e + 1
+        lower_mask = counts == e
+        upper_min = np.min(np.where(upper_mask, usable, np.inf), axis=-1)
+        lower_max = np.max(np.where(lower_mask, usable, -np.inf), axis=-1)
+        valid = upper_mask.any(axis=-1) & lower_mask.any(axis=-1)
+        height = np.where(valid, upper_min - lower_max, -np.inf)
+        worst = height if worst is None else np.minimum(worst, height)
+    return float(worst) if corrected.ndim == 1 else worst
 
 
 @dataclasses.dataclass
@@ -81,17 +94,26 @@ class DecisionFeedbackEqualizer:
         decided one-bit; sign convention: positive taps cancel positive
         post-cursor ISI).
     bit_rate:
-        The baud rate.
+        The baud (symbol) rate.
     decision_amplitude:
-        The +-amplitude the slicer assumes for decided bits.
+        Half the peak-to-peak swing the slicer assumes for decided
+        symbols: the outer decided levels are ``+-decision_amplitude``
+        (for NRZ, the classic decided-bit amplitude).
     sample_phase_ui:
         Sampling phase within the UI (0.5 = centre).
+    modulation:
+        Level alphabet to slice against; defaults to two-level NRZ
+        (bit-exact with the historical sign slicer).  Decided symbols
+        feed back their level value scaled to the
+        ``2 * decision_amplitude`` swing, and decisions are level
+        indices (0/1 for NRZ).
     """
 
     taps: Sequence[float]
     bit_rate: float
     decision_amplitude: float = 1.0
     sample_phase_ui: float = 0.5
+    modulation: Modulation = Nrz()
 
     def __post_init__(self) -> None:
         taps = np.asarray(self.taps, dtype=float)
@@ -106,6 +128,14 @@ class DecisionFeedbackEqualizer:
                 f"sample_phase_ui must be in (0,1), got {self.sample_phase_ui}"
             )
         self.taps = taps
+        # Slicer geometry at the decided swing.  The normalized outer
+        # levels are +-0.5, so a 2*decision_amplitude swing puts them at
+        # exactly +-decision_amplitude — for NRZ these are bitwise the
+        # historical +-A feedback values, and the single threshold is
+        # exactly 0.0.
+        swing = 2.0 * self.decision_amplitude
+        self.decision_thresholds = self.modulation.threshold_values(swing)
+        self.decision_levels = self.modulation.level_values(swing)
 
     def _n_bits(self, n_samples: int, ui_samples: float) -> int:
         """Decidable bits: every UI whose sampling instant
@@ -125,15 +155,18 @@ class DecisionFeedbackEqualizer:
     def equalize(self, wave: Waveform) -> Tuple[np.ndarray, np.ndarray]:
         """Run the DFE over a waveform.
 
-        Returns ``(decisions, corrected_samples)``: the sliced bits and
-        the ISI-corrected analog samples at the decision instants (the
-        quantity whose histogram is the DFE's "inner eye").
+        Returns ``(decisions, corrected_samples)``: the sliced symbols
+        (level indices; 0/1 bits for NRZ) and the ISI-corrected analog
+        samples at the decision instants (the quantity whose histogram
+        is the DFE's "inner eye").
         """
         ui_samples = wave.sample_rate / self.bit_rate
         n_bits = self._n_bits(len(wave), ui_samples)
+        thresholds = self.decision_thresholds
+        levels = self.decision_levels
         decisions = np.zeros(n_bits, dtype=np.int8)
         corrected = np.zeros(n_bits)
-        history = np.zeros(len(self.taps))  # previous decided values (+-A)
+        history = np.zeros(len(self.taps))  # previous decided values
         data = wave.data
         for k in range(n_bits):
             index = (k + self.sample_phase_ui) * ui_samples
@@ -148,12 +181,16 @@ class DecisionFeedbackEqualizer:
                 feedback += weight * past
             value = raw - feedback
             corrected[k] = value
-            bit = 1 if value > 0 else 0
-            decisions[k] = bit
-            level = self.decision_amplitude if bit else \
-                -self.decision_amplitude
+            # Nearest-level slice: count of thresholds strictly below
+            # the value.  For NRZ ([0.0]) this is the historical
+            # ``1 if value > 0 else 0`` sign slicer, bit for bit.
+            symbol = 0
+            for threshold in thresholds:
+                if value > threshold:
+                    symbol += 1
+            decisions[k] = symbol
             history = np.roll(history, 1)
-            history[0] = level
+            history[0] = levels[symbol]
         return decisions, corrected
 
     def equalize_batch(self, batch: WaveformBatch
@@ -190,13 +227,16 @@ class DecisionFeedbackEqualizer:
         return backend.dfe_equalize_batch(
             batch.data, np.asarray(self.taps, dtype=float), ui_samples,
             self.sample_phase_ui, self.decision_amplitude, n_bits,
+            self.decision_thresholds, self.decision_levels,
         )
 
     def inner_eye_height(self, wave: Waveform,
                          skip_bits: int = 16) -> float:
-        """Worst-case vertical opening of the corrected samples."""
+        """Worst-case vertical opening of the corrected samples
+        (worst sub-eye for multi-level modulations)."""
         _, corrected = self.equalize(wave)
-        return float(inner_eye_height_from_corrected(corrected, skip_bits))
+        return float(inner_eye_height_from_corrected(
+            corrected, skip_bits, thresholds=self.decision_thresholds))
 
     def inner_eye_height_batch(self, batch: WaveformBatch,
                                skip_bits: int = 16) -> np.ndarray:
@@ -207,7 +247,8 @@ class DecisionFeedbackEqualizer:
             DeprecationWarning, stacklevel=2,
         )
         _, corrected = self._equalize_batch(batch)
-        return inner_eye_height_from_corrected(corrected, skip_bits)
+        return inner_eye_height_from_corrected(
+            corrected, skip_bits, thresholds=self.decision_thresholds)
 
 
 def dfe_taps_from_channel(channel: Block, bit_rate: float, n_taps: int = 2,

@@ -41,6 +41,7 @@ import numpy as np
 
 from .. import kernels
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation, Nrz
 from ..signals.waveform import Waveform, sample_uniform
 from .phase_detector import vote_step
 
@@ -54,6 +55,15 @@ class CdrConfig:
     ``kp``/``ki`` are in UI per vote: a typical bang-bang loop uses a
     proportional step of a few mUI and an integral gain 2-3 orders
     below it.
+
+    ``modulation`` selects the slicer alphabet: data decisions are
+    nearest-level indices, and the Alexander edge votes slice at the
+    *middle* eye's threshold — the only eye whose transitions carry
+    timing for a bang-bang loop.  ``amplitude`` is the peak-to-peak
+    swing the slicer assumes at its input (scales the multi-level
+    thresholds; irrelevant for NRZ, whose only threshold is 0 V at any
+    swing — symmetric alphabets keep a 0 V middle threshold, so edge
+    votes never depend on it either).
     """
 
     bit_rate: float
@@ -61,12 +71,23 @@ class CdrConfig:
     ki: float = 1e-5
     initial_phase_ui: float = 0.25
     initial_frequency_ppm: float = 0.0
+    modulation: Modulation = Nrz()
+    amplitude: float = 1.0
 
     def __post_init__(self) -> None:
         if self.bit_rate <= 0:
             raise ValueError(f"bit_rate must be positive, got {self.bit_rate}")
         if self.kp <= 0 or self.ki < 0:
             raise ValueError("need kp > 0 and ki >= 0")
+        if self.amplitude <= 0:
+            raise ValueError(
+                f"amplitude must be positive, got {self.amplitude}"
+            )
+
+    def decision_thresholds(self) -> np.ndarray:
+        """Slicer thresholds at the assumed input swing (``[0.0]``
+        exactly for NRZ)."""
+        return self.modulation.threshold_values(self.amplitude)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -226,6 +247,8 @@ class BangBangCdr:
         config = self.config
         ui = 1.0 / config.bit_rate
         total_bits = self._usable_bits(wave.duration, n_bits)
+        thresholds = config.decision_thresholds()
+        center = float(thresholds[(len(thresholds) - 1) // 2])
 
         data = wave.data
         t0 = wave.t0
@@ -255,15 +278,32 @@ class BangBangCdr:
                                                t_data))
             sample_edge = float(sample_uniform(data, t0, sample_rate,
                                                t_edge))
-            decisions[k] = 1 if sample_data > 0 else 0
+            # Nearest-level slice: count of thresholds strictly below
+            # the sample.  For NRZ ([0.0]) this is the historical
+            # ``1 if sample > 0 else 0`` sign slicer, bit for bit.
+            symbol = 0
+            for threshold in thresholds:
+                if sample_data > threshold:
+                    symbol += 1
+            decisions[k] = symbol
             phases[k] = phase
 
             if previous_data_sample is not None:
-                vote = int(vote_step(
-                    np.array([previous_data_sample]),
-                    np.array([previous_edge_sample]),
-                    np.array([sample_data]),
-                )[0])
+                # Alexander vote at the middle-eye threshold (the 0 V
+                # guard keeps the NRZ fast path untouched; subtracting
+                # an exact 0.0 could not change the votes anyway).
+                if center != 0.0:
+                    vote = int(vote_step(
+                        np.array([previous_data_sample - center]),
+                        np.array([previous_edge_sample - center]),
+                        np.array([sample_data - center]),
+                    )[0])
+                else:
+                    vote = int(vote_step(
+                        np.array([previous_data_sample]),
+                        np.array([previous_edge_sample]),
+                        np.array([sample_data]),
+                    )[0])
                 votes[k] = vote
                 integral = integral + config.ki * vote
                 phase = phase + (config.kp * vote + integral)
@@ -349,6 +389,7 @@ class BangBangCdr:
                 batch.data, batch.t0, batch.sample_rate,
                 float(batch.time[-1]), ui, config.kp, config.ki,
                 phase, integral, total_bits,
+                config.decision_thresholds(),
             )
 
         locked_at = self._detect_lock_batch(phases, row_bits)

@@ -58,9 +58,10 @@ def _slicer_sign(value):
 
 @njit(cache=True, parallel=True)
 def _cdr_kernel(data, t0, sample_rate, t_last, ui, kp, ki,
-                phase0, integral0, total_bits,
+                phase0, integral0, total_bits, thresholds, center,
                 decisions, phases, votes, slips, row_bits):
     n_rows = data.shape[0]
+    n_thresholds = thresholds.shape[0]
     for r in prange(n_rows):
         row = data[r]
         phase = phase0[r]
@@ -78,13 +79,21 @@ def _cdr_kernel(data, t0, sample_rate, t_last, ui, kp, ki,
                 break
             sample_data = _sample_row(row, t0, sample_rate, t_data)
             sample_edge = _sample_row(row, t0, sample_rate, t_edge)
-            decisions[r, k] = 1 if sample_data > 0.0 else 0
+            # Count of thresholds strictly below the sample == the Gray
+            # level index; for [0.0] this is the historical sign slicer.
+            symbol = 0
+            for j in range(n_thresholds):
+                if sample_data > thresholds[j]:
+                    symbol += 1
+            decisions[r, k] = symbol
             phases[r, k] = phase
             if k > 0:
-                # Alexander vote, same sign convention as vote_step.
-                a = _slicer_sign(previous_data)
-                b = _slicer_sign(sample_data)
-                t = _slicer_sign(previous_edge)
+                # Alexander vote at the middle-eye threshold, same sign
+                # convention as vote_step (subtracting a 0.0 center
+                # cannot change any comparison, zeros stay high).
+                a = _slicer_sign(previous_data - center)
+                b = _slicer_sign(sample_data - center)
+                t = _slicer_sign(previous_edge - center)
                 vote = 0
                 if a != b:
                     if t == a:
@@ -119,9 +128,12 @@ def _cdr_kernel(data, t0, sample_rate, t_last, ui, kp, ki,
 def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
                       t_last: float, ui: float, kp: float, ki: float,
                       phase: np.ndarray, integral: np.ndarray,
-                      total_bits: int):
+                      total_bits: int, thresholds=None):
     """Compiled twin of the NumPy backend's ``cdr_recover_batch``."""
     data = np.ascontiguousarray(data, dtype=np.float64)
+    thresholds = (np.zeros(1) if thresholds is None
+                  else np.ascontiguousarray(thresholds, dtype=np.float64))
+    center = float(thresholds[(len(thresholds) - 1) // 2])
     n_rows = data.shape[0]
     decisions = np.zeros((n_rows, total_bits), dtype=np.int8)
     phases = np.empty((n_rows, total_bits), dtype=np.float64)
@@ -132,15 +144,17 @@ def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
                 float(ui), float(kp), float(ki),
                 np.ascontiguousarray(phase, dtype=np.float64),
                 np.ascontiguousarray(integral, dtype=np.float64),
-                int(total_bits), decisions, phases, votes, slips, row_bits)
+                int(total_bits), thresholds, center,
+                decisions, phases, votes, slips, row_bits)
     return decisions, phases, votes, slips, row_bits
 
 
 @njit(cache=True, parallel=True)
 def _dfe_kernel(data, taps, ui_samples, sample_phase_ui,
-                decision_amplitude, n_bits, decisions, corrected):
+                thresholds, decision_levels, n_bits, decisions, corrected):
     n_rows = data.shape[0]
     n_taps = taps.shape[0]
+    n_thresholds = thresholds.shape[0]
     for r in prange(n_rows):
         row = data[r]
         history = np.zeros(n_taps, dtype=np.float64)
@@ -154,24 +168,37 @@ def _dfe_kernel(data, taps, ui_samples, sample_phase_ui,
                 feedback = feedback + taps[j] * history[j]
             value = raw - feedback
             corrected[r, k] = value
-            bit = 1 if value > 0.0 else 0
-            decisions[r, k] = bit
+            # Nearest-level slice: count of thresholds strictly below
+            # the value; [0.0] reproduces the historical sign slicer.
+            symbol = 0
+            for j in range(n_thresholds):
+                if value > thresholds[j]:
+                    symbol += 1
+            decisions[r, k] = symbol
             for j in range(n_taps - 1, 0, -1):
                 history[j] = history[j - 1]
-            history[0] = decision_amplitude if bit else -decision_amplitude
+            history[0] = decision_levels[symbol]
 
 
 def dfe_equalize_batch(data: np.ndarray, taps: np.ndarray,
                        ui_samples: float, sample_phase_ui: float,
-                       decision_amplitude: float, n_bits: int):
+                       decision_amplitude: float, n_bits: int,
+                       thresholds=None, decision_levels=None):
     """Compiled twin of the NumPy backend's ``dfe_equalize_batch``."""
     data = np.ascontiguousarray(data, dtype=np.float64)
+    thresholds = (np.zeros(1) if thresholds is None
+                  else np.ascontiguousarray(thresholds, dtype=np.float64))
+    if decision_levels is None:
+        decision_levels = np.array([-decision_amplitude,
+                                    decision_amplitude])
+    decision_levels = np.ascontiguousarray(decision_levels,
+                                           dtype=np.float64)
     n_rows = data.shape[0]
     decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
     corrected = np.zeros((n_rows, n_bits), dtype=np.float64)
     _dfe_kernel(data, np.ascontiguousarray(taps, dtype=np.float64),
                 float(ui_samples), float(sample_phase_ui),
-                float(decision_amplitude), int(n_bits),
+                thresholds, decision_levels, int(n_bits),
                 decisions, corrected)
     return decisions, corrected
 

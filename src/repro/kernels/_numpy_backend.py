@@ -82,17 +82,25 @@ def _vote_step(previous_data: np.ndarray, samples_edge: np.ndarray,
 def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
                       t_last: float, ui: float, kp: float, ki: float,
                       phase: np.ndarray, integral: np.ndarray,
-                      total_bits: int):
+                      total_bits: int, thresholds=None):
     """Advance N bang-bang loops together, one bit-step at a time.
 
     Parameters mirror the loop state of
     :meth:`repro.cdr.BangBangCdr.recover`: per-row ``phase`` (UI) and
     ``integral`` (fractional frequency) starting states, shared
-    ``kp``/``ki`` gains.  Returns ``(decisions, phases, votes, slips,
-    row_bits)`` with rows that ran out of waveform blanked past their
-    last valid bit (0 decisions/votes, NaN phases).
+    ``kp``/``ki`` gains.  ``thresholds`` is the modulation's sorted
+    decision-threshold vector (default ``[0.0]``, the binary sign
+    slicer): data decisions are the count of thresholds strictly below
+    the sample (= the Gray level index), and the Alexander votes slice
+    at the *middle* threshold — the only eye whose transitions carry
+    timing for a bang-bang loop.  Returns ``(decisions, phases, votes,
+    slips, row_bits)`` with rows that ran out of waveform blanked past
+    their last valid bit (0 decisions/votes, NaN phases).
     """
     data = np.asarray(data, dtype=float)
+    thresholds = (np.zeros(1) if thresholds is None
+                  else np.asarray(thresholds, dtype=float))
+    center = float(thresholds[(len(thresholds) - 1) // 2])
     n_rows = data.shape[0]
     phase = np.array(phase, dtype=float)
     integral = np.array(integral, dtype=float)
@@ -118,11 +126,22 @@ def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
                 break
         sample_data = sample_uniform(data, t0, sample_rate, t_data)
         sample_edge = sample_uniform(data, t0, sample_rate, t_edge)
-        decisions[:, k] = sample_data > 0
+        if len(thresholds) == 1:
+            # Binary fast path: identical to the historical sign slicer.
+            decisions[:, k] = sample_data > center
+        else:
+            decisions[:, k] = np.searchsorted(thresholds, sample_data,
+                                              side="left")
         phases[:, k] = phase
 
         if k > 0:
-            votes_k = _vote_step(previous_data, previous_edge, sample_data)
+            if center != 0.0:
+                votes_k = _vote_step(previous_data - center,
+                                     previous_edge - center,
+                                     sample_data - center)
+            else:
+                votes_k = _vote_step(previous_data, previous_edge,
+                                     sample_data)
             votes[:, k] = votes_k
             new_integral = integral + ki * votes_k
             new_phase = phase + (kp * votes_k + new_integral)
@@ -154,21 +173,35 @@ def cdr_recover_batch(data: np.ndarray, t0: float, sample_rate: float,
 
 def dfe_equalize_batch(data: np.ndarray, taps: np.ndarray,
                        ui_samples: float, sample_phase_ui: float,
-                       decision_amplitude: float, n_bits: int):
+                       decision_amplitude: float, n_bits: int,
+                       thresholds=None, decision_levels=None):
     """Advance N decision-feedback loops together, one bit per step.
 
-    Returns ``(decisions, corrected)`` of shape ``(n_rows, n_bits)``.
-    The feedback dot product accumulates tap by tap in index order —
-    the same order the numba backend and the serial reference use — so
-    the result is bit-exact across backends for any tap count.
+    ``thresholds``/``decision_levels`` carry the modulation's sorted
+    decision thresholds and the level value fed back for each decided
+    symbol; the defaults (``[0.0]`` / ``[-A, +A]``) are the historical
+    binary sign slicer, bit for bit.  Returns ``(decisions,
+    corrected)`` of shape ``(n_rows, n_bits)``; decisions are level
+    indices.  The feedback dot product accumulates tap by tap in index
+    order — the same order the numba backend and the serial reference
+    use — so the result is bit-exact across backends for any tap count.
     """
     data = np.asarray(data, dtype=float)
     taps = np.asarray(taps, dtype=float)
+    thresholds = (np.zeros(1) if thresholds is None
+                  else np.asarray(thresholds, dtype=float))
+    if decision_levels is None:
+        decision_levels = np.array([-decision_amplitude,
+                                    decision_amplitude])
+    else:
+        decision_levels = np.asarray(decision_levels, dtype=float)
     n_rows = data.shape[0]
     n_taps = len(taps)
     decisions = np.zeros((n_rows, n_bits), dtype=np.int8)
     corrected = np.zeros((n_rows, n_bits))
     history = np.zeros((n_rows, n_taps))
+    binary = len(thresholds) == 1
+    threshold0 = float(thresholds[0])
     for k in range(n_bits):
         index = (k + sample_phase_ui) * ui_samples
         raw = sample_uniform(data, 0.0, 1.0, index)
@@ -177,9 +210,12 @@ def dfe_equalize_batch(data: np.ndarray, taps: np.ndarray,
             feedback = feedback + taps[j] * history[:, j]
         values = raw - feedback
         corrected[:, k] = values
-        bits = values > 0
-        decisions[:, k] = bits
+        if binary:
+            # Fast path, identical to the historical sign slicer.
+            symbols = (values > threshold0).astype(np.int64)
+        else:
+            symbols = np.searchsorted(thresholds, values, side="left")
+        decisions[:, k] = symbols
         history[:, 1:] = history[:, :-1]
-        history[:, 0] = np.where(bits, decision_amplitude,
-                                 -decision_amplitude)
+        history[:, 0] = decision_levels[symbols]
     return decisions, corrected

@@ -46,6 +46,7 @@ from ..serdes.serializer import (
     _serialize_payload,
 )
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation, Nrz
 from ..signals.waveform import Waveform
 from ..sweep.grid import ScenarioGrid
 from ..sweep.runner import SweepResult, SweepRunner
@@ -69,11 +70,19 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class TxConfig:
-    """Transmit side: the paper's output interface."""
+    """Transmit side: the paper's output interface.
+
+    ``modulation`` declares the line code of the stimulus this session
+    carries (NRZ by default).  The analog chain is modulation-agnostic;
+    the field rides through the session into every slicer and eye
+    measurement — and, being a config field, it is a valid *structural*
+    sweep-axis name, so NRZ-vs-PAM4 runs as one sweep.
+    """
 
     peaking_enabled: bool = True
     spike_width_ui: float = 0.35
     spike_current: float = 1.5e-3
+    modulation: Modulation = Nrz()
 
     def build(self, bit_rate: float):
         return build_output_interface(
@@ -114,19 +123,28 @@ class RxConfig:
 
 @dataclasses.dataclass(frozen=True)
 class DfeConfig:
-    """A baud-rate DFE measured after the receive path."""
+    """A baud-rate DFE measured after the receive path.
+
+    ``modulation=None`` inherits the session's line code at build time
+    (set it explicitly to pin a different slicer alphabet)."""
 
     taps: Tuple[float, ...]
     decision_amplitude: float = 1.0
     sample_phase_ui: float = 0.5
     skip_bits: int = 16
+    modulation: Optional[Modulation] = None
 
-    def build(self, bit_rate: float) -> DecisionFeedbackEqualizer:
+    def build(self, bit_rate: float,
+              modulation: Optional[Modulation] = None
+              ) -> DecisionFeedbackEqualizer:
+        effective = self.modulation if self.modulation is not None \
+            else (modulation if modulation is not None else Nrz())
         return DecisionFeedbackEqualizer(
             taps=self.taps,
             bit_rate=bit_rate,
             decision_amplitude=self.decision_amplitude,
             sample_phase_ui=self.sample_phase_ui,
+            modulation=effective,
         )
 
 
@@ -153,6 +171,7 @@ class LinkResult:
     dfe_decisions: Optional[np.ndarray] = None
     dfe_corrected: Optional[np.ndarray] = None
     dfe_inner_eye_height: Optional[float] = None
+    modulation: Modulation = Nrz()
 
     @property
     def cdr_locked(self) -> bool:
@@ -174,6 +193,7 @@ class LinkBatchResult:
     dfe_decisions: Optional[np.ndarray] = None
     dfe_corrected: Optional[np.ndarray] = None
     dfe_inner_eye_heights: Optional[np.ndarray] = None
+    modulation: Modulation = Nrz()
 
     @property
     def n_scenarios(self) -> int:
@@ -200,6 +220,7 @@ class LinkBatchResult:
             dfe_inner_eye_height=(
                 None if self.dfe_inner_eye_heights is None
                 else float(self.dfe_inner_eye_heights[index])),
+            modulation=self.modulation,
         )
 
     def rows(self) -> List[LinkResult]:
@@ -251,7 +272,8 @@ class LinkBatchResult:
         return cls(output=output, eyes=eyes, cdr=cdr,
                    dfe_decisions=cat("dfe_decisions"),
                    dfe_corrected=cat("dfe_corrected"),
-                   dfe_inner_eye_heights=cat("dfe_inner_eye_heights"))
+                   dfe_inner_eye_heights=cat("dfe_inner_eye_heights"),
+                   modulation=first.modulation)
 
     def eye_heights(self) -> np.ndarray:
         """Per-scenario vertical eye openings."""
@@ -289,19 +311,25 @@ class LinkSession:
         :class:`~repro.baselines.dfe.DecisionFeedbackEqualizer`.
     measure_eye / skip_ui:
         Whether (and how) each run folds a scope-style eye.
+    modulation:
+        Line code every measurement layer slices against (``None`` =
+        NRZ).  ``bit_rate`` stays the *symbol* (baud) rate.
     """
 
     def __init__(self, stages: Sequence = (), *, bit_rate: float = 10e9,
                  cdr: "CdrConfig | bool | None" = None,
                  dfe: "DfeConfig | DecisionFeedbackEqualizer | None" = None,
                  measure_eye: bool = True, skip_ui: int = 16,
-                 dfe_skip_bits: Optional[int] = None):
+                 dfe_skip_bits: Optional[int] = None,
+                 modulation: Optional[Modulation] = None):
         if bit_rate <= 0:
             raise ValueError(f"bit_rate must be positive, got {bit_rate}")
         self.bit_rate = bit_rate
+        self.modulation: Modulation = (Nrz() if modulation is None
+                                       else modulation)
         self.stages: Tuple[Stage, ...] = tuple(stage(s) for s in stages)
         if cdr is True:
-            cdr = CdrConfig(bit_rate=bit_rate)
+            cdr = CdrConfig(bit_rate=bit_rate, modulation=self.modulation)
         self.cdr_config: Optional[CdrConfig] = cdr or None
         self._cdr_stage = (CdrStage(BangBangCdr(self.cdr_config))
                            if self.cdr_config is not None else None)
@@ -309,7 +337,7 @@ class LinkSession:
             # An explicit dfe_skip_bits argument wins over the config's.
             if dfe_skip_bits is None:
                 dfe_skip_bits = dfe.skip_bits
-            dfe = dfe.build(bit_rate)
+            dfe = dfe.build(bit_rate, modulation=self.modulation)
         self.dfe: Optional[DecisionFeedbackEqualizer] = dfe
         self._dfe_stage = DfeStage(dfe) if dfe is not None else None
         self.measure_eye = measure_eye
@@ -332,18 +360,24 @@ class LinkSession:
                      dfe: "DfeConfig | DecisionFeedbackEqualizer | None"
                      = None,
                      measure_eye: bool = True, skip_ui: int = 16,
-                     dfe_skip_bits: Optional[int] = None) -> "LinkSession":
+                     dfe_skip_bits: Optional[int] = None,
+                     modulation: Optional[Modulation] = None
+                     ) -> "LinkSession":
         """Build the paper's tx → channel → rx chain from configs.
 
         Any of ``tx``/``channel``/``rx`` may be ``None`` to omit that
         leg (``ChannelConfig(0.0)`` also omits the channel).  The
         configs are retained, so :meth:`sweep` can rebuild the chain
-        along structural axes by config field name.
+        along structural axes by config field name.  The line code
+        defaults to ``tx.modulation``; an explicit ``modulation``
+        argument wins.
         """
+        if modulation is None and tx is not None:
+            modulation = tx.modulation
         stages, built = cls._build_chain(tx, channel, rx, bit_rate)
         session = cls(stages, bit_rate=bit_rate, cdr=cdr, dfe=dfe,
                       measure_eye=measure_eye, skip_ui=skip_ui,
-                      dfe_skip_bits=dfe_skip_bits)
+                      dfe_skip_bits=dfe_skip_bits, modulation=modulation)
         session.transmitter, session.channel, session.receiver = built
         session._configs = (tx, channel, rx)
         return session
@@ -368,24 +402,45 @@ class LinkSession:
         batch, was_single = _lift(signal)
         return _lower(_run_stages(self.stages, batch), was_single)
 
-    def _analyze(self, out: WaveformBatch) -> LinkBatchResult:
-        """Measure an already-processed batch into the report form."""
-        eyes = (measure_eye_batch(out, self.bit_rate, skip_ui=self.skip_ui)
+    def _analyze(self, out: WaveformBatch,
+                 modulation: Optional[Modulation] = None) -> LinkBatchResult:
+        """Measure an already-processed batch into the report form.
+
+        ``modulation`` overrides the session's line code for this batch
+        (a structural ``modulation`` sweep axis lands here): the eye
+        folds per-sub-eye statistics and the CDR/DFE stages are rebuilt
+        with the matching slicer alphabet.
+        """
+        mod = self.modulation if modulation is None else modulation
+        eyes = (measure_eye_batch(out, self.bit_rate, skip_ui=self.skip_ui,
+                                  modulation=mod)
                 if self.measure_eye else None)
-        cdr_result = (self._cdr_stage.recover(out)
-                      if self._cdr_stage is not None else None)
+        cdr_stage = self._cdr_stage
+        if cdr_stage is not None and mod != self.cdr_config.modulation:
+            cdr_stage = CdrStage(BangBangCdr(
+                dataclasses.replace(self.cdr_config, modulation=mod)))
+        cdr_result = (cdr_stage.recover(out)
+                      if cdr_stage is not None else None)
+        dfe = self.dfe
+        dfe_stage = self._dfe_stage
+        if dfe_stage is not None and mod != dfe.modulation:
+            dfe = dataclasses.replace(dfe, modulation=mod)
+            dfe_stage = DfeStage(dfe)
         dfe_decisions = dfe_corrected = dfe_heights = None
-        if self._dfe_stage is not None:
-            dfe_decisions, dfe_corrected = self._dfe_stage.equalize(out)
+        if dfe_stage is not None:
+            dfe_decisions, dfe_corrected = dfe_stage.equalize(out)
             dfe_heights = inner_eye_height_from_corrected(
-                dfe_corrected, self.dfe_skip_bits)
+                dfe_corrected, self.dfe_skip_bits,
+                thresholds=dfe.decision_thresholds)
         return LinkBatchResult(output=out, eyes=eyes, cdr=cdr_result,
                                dfe_decisions=dfe_decisions,
                                dfe_corrected=dfe_corrected,
-                               dfe_inner_eye_heights=dfe_heights)
+                               dfe_inner_eye_heights=dfe_heights,
+                               modulation=mod)
 
-    def _run(self, batch: WaveformBatch) -> LinkBatchResult:
-        return self._analyze(_run_stages(self.stages, batch))
+    def _run(self, batch: WaveformBatch,
+             modulation: Optional[Modulation] = None) -> LinkBatchResult:
+        return self._analyze(_run_stages(self.stages, batch), modulation)
 
     def run(self, wave: Waveform) -> LinkResult:
         """One scenario end to end (dispatches through the batch path)."""
@@ -498,9 +553,20 @@ class LinkSession:
         an importable ``measure`` to combine ``processes > 1`` with the
         pool.)
         """
+        for axis in grid.axes:
+            if axis.name == "modulation" and not axis.structural:
+                raise ValueError(
+                    "a 'modulation' axis must be structural=True: it "
+                    "changes the slicer alphabet and eye analysis, not "
+                    "just the stimulus"
+                )
         if measure is None:
+            session_modulation = self.modulation
+
             def measure(out: WaveformBatch, params: List[Dict]):
-                return self._analyze(out).rows()
+                mod = (params[0].get("modulation", session_modulation)
+                       if params else session_modulation)
+                return self._analyze(out, modulation=mod).rows()
         runner = SweepRunner(grid, stimulus=stimulus,
                              build=self._builder_for(grid),
                              measure_batch=measure, processes=processes,

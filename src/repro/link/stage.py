@@ -185,10 +185,12 @@ class DfeStage(Stage):
         return decisions, corrected
 
     def inner_eye_height(self, signal: Signal, skip_bits: int = 16):
-        """Worst-case vertical opening of the corrected samples: a
-        float for a waveform, a per-row array for a batch."""
+        """Worst-case vertical opening of the corrected samples (worst
+        sub-eye for multi-level modulations): a float for a waveform, a
+        per-row array for a batch."""
         _, corrected = self.equalize(signal)
-        return inner_eye_height_from_corrected(corrected, skip_bits)
+        return inner_eye_height_from_corrected(
+            corrected, skip_bits, thresholds=self.dfe.decision_thresholds)
 
     def process_batch(self, batch: WaveformBatch) -> WaveformBatch:
         _, corrected = self.dfe._equalize_batch(batch)

@@ -4,6 +4,11 @@ Converts a bit sequence into a differential-mode NRZ voltage waveform at
 a given bit rate, with a finite 20-80 % rise time (a transmitter never
 produces ideal square edges) and optional per-edge timing perturbation
 used by the jitter module.
+
+Since the modulation refactor this is a thin shim over
+:class:`~repro.signals.modulation.SymbolEncoder` with the :class:`Nrz`
+alphabet — for NRZ, bit == symbol and ``bit_rate`` == ``symbol_rate``,
+and the generated waveforms are bit-exact with the pre-refactor encoder.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from .batch import WaveformBatch
+from .modulation import Nrz, SymbolEncoder
 from .waveform import Waveform
 
 __all__ = ["NrzEncoder", "bits_to_nrz", "ideal_square_wave"]
@@ -52,10 +58,19 @@ class NrzEncoder:
             raise ValueError(
                 f"samples_per_bit must be >= 2, got {self.samples_per_bit}"
             )
+        if self.amplitude <= 0:
+            raise ValueError(
+                f"amplitude must be positive, got {self.amplitude}"
+            )
         if self.rise_time is None:
             self.rise_time = 0.15 / self.bit_rate
         if self.rise_time < 0:
             raise ValueError(f"rise_time must be >= 0, got {self.rise_time}")
+
+    @property
+    def modulation(self) -> Nrz:
+        """The two-level alphabet this encoder is fixed to."""
+        return Nrz()
 
     @property
     def sample_rate(self) -> float:
@@ -66,6 +81,13 @@ class NrzEncoder:
     def unit_interval(self) -> float:
         """One bit period in seconds."""
         return 1.0 / self.bit_rate
+
+    def _symbol_encoder(self) -> SymbolEncoder:
+        return SymbolEncoder(symbol_rate=self.bit_rate,
+                             modulation=Nrz(),
+                             samples_per_symbol=self.samples_per_bit,
+                             amplitude=self.amplitude,
+                             rise_time=self.rise_time)
 
     def encode(self, bits: np.ndarray,
                edge_offsets: Optional[np.ndarray] = None) -> Waveform:
@@ -89,36 +111,8 @@ class NrzEncoder:
             raise ValueError(
                 f"edge_offsets length {len(edge_offsets)} != bits {len(bits)}"
             )
-
-        levels = (bits.astype(float) - 0.5) * self.amplitude
-        n_samples = len(bits) * self.samples_per_bit
-        t = np.arange(n_samples) / self.sample_rate
-        ui = self.unit_interval
-
-        # Edge times: nominal bit boundaries, perturbed by jitter offsets.
-        edge_times = np.arange(1, len(bits)) * ui
-        if edge_offsets is not None:
-            edge_times = edge_times + np.asarray(edge_offsets, dtype=float)[1:]
-
-        if self.rise_time <= 0:
-            # Ideal square NRZ: piecewise-constant lookup by edge index.
-            idx = np.searchsorted(edge_times, t, side="right")
-            data = levels[np.clip(idx, 0, len(bits) - 1)]
-            return Waveform(data, self.sample_rate)
-
-        # Smooth edges: superpose tanh transitions at each level change.
-        # tanh(2.1972 * x) goes 20%..80% over x in [-0.25, 0.25], so the
-        # 20-80% rise time maps to tau = rise_time / 0.5493 when using
-        # tanh(t / tau) — derived from atanh(0.6) = 0.6931 over half the
-        # swing: 20-80% spans 2*atanh(0.6)*tau = 1.3863 tau.
-        tau = self.rise_time / (2.0 * np.arctanh(0.6))
-        data = np.full(n_samples, levels[0])
-        for k, t_edge in enumerate(edge_times):
-            delta = levels[k + 1] - levels[k]
-            if delta == 0:
-                continue
-            data = data + (delta / 2.0) * (1.0 + np.tanh((t - t_edge) / tau))
-        return Waveform(data, self.sample_rate)
+        return self._symbol_encoder().encode(bits.astype(np.intp),
+                                             edge_offsets)
 
     def encode_batch(self, bits: np.ndarray,
                      edge_offsets_rows: np.ndarray) -> WaveformBatch:

@@ -37,11 +37,12 @@ env-gated via ``REPRO_SWEEP_FAULTS``) exercises all of it in CI.
 
 from .checkpoint import CheckpointJournal
 from .faults import FaultInjected, FaultRule, SweepAbort, inject_faults
-from .grid import ScenarioGrid, SweepAxis
+from .grid import ScenarioGrid, SweepAxis, modulation_axis
 from .runner import SweepFailure, SweepResult, SweepRunner, \
     closed_loop_cdr_measure, dfe_measure
 
-__all__ = ["ScenarioGrid", "SweepAxis", "SweepRunner", "SweepResult",
+__all__ = ["ScenarioGrid", "SweepAxis", "modulation_axis",
+           "SweepRunner", "SweepResult",
            "SweepFailure", "CheckpointJournal", "FaultRule", "FaultInjected",
            "SweepAbort", "inject_faults",
            "closed_loop_cdr_measure", "dfe_measure"]

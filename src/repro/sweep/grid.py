@@ -9,8 +9,9 @@ two kinds with very different costs:
   them can ride through the signal path together as one
   :class:`~repro.signals.batch.WaveformBatch` pass;
 * **structural** axes change the circuit or channel itself (equalizer
-  setting, trace length, PVT corner): each point needs its pipeline
-  rebuilt.
+  setting, trace length, PVT corner) or the measurement geometry (the
+  line code — see :func:`modulation_axis`): each point needs its
+  pipeline rebuilt.
 
 :class:`ScenarioGrid` declares the axes; the
 :class:`~repro.sweep.runner.SweepRunner` partitions them and executes
@@ -23,7 +24,7 @@ import dataclasses
 import itertools
 from typing import Dict, Iterator, List, Sequence, Tuple
 
-__all__ = ["SweepAxis", "ScenarioGrid"]
+__all__ = ["SweepAxis", "ScenarioGrid", "modulation_axis"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +57,19 @@ class SweepAxis:
 
     def __len__(self) -> int:
         return len(self.values)
+
+
+def modulation_axis(modulations: Sequence) -> SweepAxis:
+    """A structural ``"modulation"`` axis over line codes.
+
+    ``modulation_axis([Nrz(), Pam4()])`` puts NRZ and PAM4 points in
+    one grid: the axis name matches :class:`repro.link.TxConfig`'s
+    ``modulation`` field, so :meth:`repro.link.LinkSession.sweep`
+    rebuilds the chain per line code and slices/measures each point
+    with the matching alphabet.  Always structural — a line code
+    changes the measurement geometry, never just the stimulus.
+    """
+    return SweepAxis("modulation", tuple(modulations), structural=True)
 
 
 class ScenarioGrid:

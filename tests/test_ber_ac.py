@@ -34,6 +34,18 @@ def test_ber_q_roundtrip():
         assert ber_to_q(q_to_ber(q)) == pytest.approx(q, rel=1e-6)
 
 
+def test_ber_q_roundtrip_extreme_q():
+    # Deep into the erfc underflow region: Q=8 is BER ~6e-16, and the
+    # roundtrip must survive down there without collapsing to 0.
+    for q in (0.5, 1.0, 7.5, 7.9, 8.0):
+        ber = q_to_ber(q)
+        assert ber > 0.0
+        assert ber_to_q(ber) == pytest.approx(q, rel=1e-6)
+    assert q_to_ber(7.9) == pytest.approx(1.4e-15, rel=0.2)
+    # Monotone through the extreme region.
+    assert q_to_ber(8.0) < q_to_ber(7.5) < q_to_ber(7.0)
+
+
 def test_q_validation():
     with pytest.raises(ValueError):
         q_to_ber(-1.0)

@@ -81,6 +81,15 @@ def test_rejects_bad_parameters():
         NrzEncoder(bit_rate=1e9, rise_time=-1e-12)
 
 
+def test_rejects_non_positive_amplitude():
+    with pytest.raises(ValueError, match="amplitude must be positive, "
+                                         "got 0.0"):
+        NrzEncoder(bit_rate=1e9, amplitude=0.0)
+    with pytest.raises(ValueError, match="amplitude must be positive, "
+                                         "got -0.2"):
+        NrzEncoder(bit_rate=1e9, amplitude=-0.2)
+
+
 def test_dc_balance_of_alternating():
     # Ideal-edge NRZ quantizes edges to the sample grid, so the residual
     # DC is bounded by one sample per edge, not exactly zero.
@@ -102,3 +111,39 @@ def test_ideal_square_wave_rejects_bad_args():
         ideal_square_wave(0.0, 4)
     with pytest.raises(ValueError):
         ideal_square_wave(1e9, 0)
+
+
+def test_ideal_square_wave_length_and_rate():
+    # Dyadic frequency: every edge time and sample time is an exact
+    # float, so the square is perfect (at 10 GHz-style rates, edges
+    # quantize to the sample grid within one sample instead).
+    w = ideal_square_wave(2.0, n_cycles=3, amplitude=0.6,
+                          samples_per_cycle=10)
+    assert len(w) == 30
+    assert w.sample_rate == pytest.approx(20.0)
+    # Exactly two levels, half a cycle each, no intermediate samples.
+    np.testing.assert_allclose(np.unique(w.data), [-0.3, 0.3])
+    assert np.count_nonzero(w.data > 0) == 15
+
+
+def test_ideal_edges_land_on_bit_boundaries():
+    # rise_time=0 routes through the searchsorted ideal-edge path: at a
+    # dyadic bit rate every sample inside bit k holds exactly that
+    # bit's level.
+    bits = np.array([0, 1, 1, 0, 1])
+    w = bits_to_nrz(bits, 2.0, amplitude=0.4, rise_time=0.0,
+                    samples_per_bit=8)
+    expected = np.repeat((bits - 0.5) * 0.4, 8)
+    np.testing.assert_array_equal(w.data, expected)
+
+
+def test_ideal_edges_respect_edge_offsets_exactly():
+    enc = NrzEncoder(bit_rate=2.0, samples_per_bit=16, rise_time=0.0)
+    bits = np.array([0, 1, 0])
+    # Advance the second edge by a quarter UI: the transition lands
+    # 4 samples early, still perfectly square.
+    offsets = np.array([0.0, -0.125, 0.0])
+    w = enc.encode(bits, edge_offsets=offsets)
+    assert np.all(np.isin(w.data, [-0.5, 0.5]))
+    first_rise = np.flatnonzero(np.diff(w.data) > 0)[0]
+    assert first_rise == 16 - 4 - 1
