@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Streaming Monte Carlo yield study (the million-scenario shape).
+
+A manufacturing yield question — "what fraction of links meets the eye
+mask across mismatch and launch-amplitude spread?" — needs tens of
+thousands of Monte Carlo draws per process corner, but nobody reads
+per-scenario results at that scale: the product is a yield number, a
+quantile table, and a histogram.  This example runs a structural
+(trace length) × Monte Carlo (per-die launch spread) grid through
+``LinkSession.sweep`` with streaming reducers and
+``keep_results=False``: every row is folded into constant-size
+aggregates the moment it is measured and then dropped, so the study's
+memory footprint is set by the chunk size, not the scenario count —
+scale ``N_DRAWS`` to 1e6 and the supervisor stays flat (see
+``benchmarks/bench_streaming_sweep.py`` for the measured ceiling).
+
+Run:  python examples/yield_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    Count,
+    Histogram,
+    LinkSession,
+    MeanVar,
+    MinMax,
+    Quantiles,
+    ScenarioGrid,
+    SweepAxis,
+    Yield,
+    bits_to_nrz,
+    prbs7,
+)
+from repro.link import RxConfig
+from repro.reporting import (format_aggregates, format_quantile_table,
+                             render_histogram)
+
+BIT_RATE = 10e9
+N_DRAWS = 400                 # Monte Carlo draws per corner; try 1e6
+LENGTHS_M = (0.2, 0.6, 1.0)   # structural corners (backplane reach)
+CHUNK_ROWS = 64               # the memory ceiling, in scenarios
+EYE_MASK_V = 0.22             # pass/fail criterion on the received eye
+
+NOMINAL_AMPLITUDE = 0.25
+AMPLITUDE_SIGMA = 0.08        # relative launch-amplitude spread
+
+# One compact draw table; the axis itself is just trial indices.
+SCALES = 1.0 + AMPLITUDE_SIGMA * np.random.default_rng(7).standard_normal(
+    N_DRAWS)
+
+
+def main() -> None:
+    session = LinkSession.from_configs(
+        rx=RxConfig(equalizer_control_voltage=0.55), skip_ui=20)
+    base = bits_to_nrz(prbs7(200), BIT_RATE, amplitude=1.0,
+                       samples_per_bit=16)
+
+    grid = ScenarioGrid([
+        SweepAxis("length_m", LENGTHS_M, structural=True),
+        SweepAxis("draw", tuple(range(N_DRAWS))),
+    ])
+
+    def eye_height(result, params):
+        return result.eye.eye_height
+
+    result = session.sweep(
+        grid,
+        stimulus=lambda p: base * (NOMINAL_AMPLITUDE * SCALES[p["draw"]]),
+        chunk_rows=CHUNK_ROWS,
+        reducers={
+            "scenarios": Count(),
+            "eye_height": MeanVar(extract=eye_height),
+            "extrema": MinMax(extract=eye_height),
+            "hist": Histogram(0.0, 0.6, n_bins=48, extract=eye_height),
+            "quantiles": Quantiles(qs=(0.01, 0.05, 0.5, 0.95),
+                                   lo=0.0, hi=0.6, n_bins=512,
+                                   extract=eye_height),
+            "yield": Yield(lambda r, p: r.eye.eye_height > EYE_MASK_V),
+        },
+        keep_results=False,       # no per-row results are ever retained
+    )
+
+    assert result.results is None        # the aggregates ARE the study
+    aggregates = result.aggregates
+
+    print(f"{grid.n_scenarios} scenarios "
+          f"({len(LENGTHS_M)} corners x {N_DRAWS} draws), "
+          f"eye mask {EYE_MASK_V * 1e3:.0f} mV\n")
+    print(format_aggregates(aggregates))
+    print()
+    print(render_histogram(aggregates["hist"], width=60, height=10,
+                           title="received eye height, all corners",
+                           unit=" V"))
+    print()
+    print(format_quantile_table(aggregates["quantiles"],
+                                label="eye height (V)"))
+    tally = aggregates["yield"]
+    print(f"\nyield: {tally.n_pass}/{tally.n_total} "
+          f"({100 * tally.fraction:.2f}%) links meet the "
+          f"{EYE_MASK_V * 1e3:.0f} mV mask")
+
+
+if __name__ == "__main__":
+    main()

@@ -100,8 +100,9 @@ from .baselines import (
 )
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
-from .sweep import (ScenarioGrid, SweepAxis, SweepFailure, SweepResult,
-                    SweepRunner, modulation_axis)
+from .sweep import (Count, Histogram, MeanVar, MinMax, Quantiles,
+                    ScenarioGrid, SweepAxis, SweepFailure, SweepResult,
+                    SweepRunner, Yield, modulation_axis)
 from .link import (
     Stage,
     stage,
@@ -197,6 +198,12 @@ __all__ = [
     "modulation_axis",
     "SweepFailure",
     "SweepRunner",
+    "Count",
+    "MinMax",
+    "MeanVar",
+    "Histogram",
+    "Quantiles",
+    "Yield",
     "SweepResult",
     "Stage",
     "stage",

@@ -524,7 +524,9 @@ class LinkSession:
               max_attempts: int = 3,
               retry_backoff_s: float = 0.25,
               nan_guard: bool = False,
-              on_error: str = "raise") -> SweepResult:
+              on_error: str = "raise",
+              reducers: Optional[Dict[str, Any]] = None,
+              keep_results: bool = True) -> SweepResult:
         """Execute a scenario grid through the facade.
 
         Batchable axes ride through the stage chain as one
@@ -552,6 +554,16 @@ class LinkSession:
         measurement is a local closure and therefore unpicklable — pass
         an importable ``measure`` to combine ``processes > 1`` with the
         pool.)
+
+        ``reducers`` streams aggregation through the facade: a mapping
+        of name → :class:`~repro.sweep.reducers.Reducer` folded online
+        over every measured scenario (with the default measurement,
+        each reducer's ``extract`` sees a :class:`LinkResult` — e.g.
+        ``MeanVar(extract=lambda r, p: r.eye.eye_height)``), finalized
+        onto ``SweepResult.aggregates``.  Add ``keep_results=False``
+        to drop the dense per-row results entirely — the
+        million-scenario yield-study mode, where supervisor memory
+        stays flat in scenario count (see ``examples/yield_study.py``).
         """
         for axis in grid.axes:
             if axis.name == "modulation" and not axis.structural:
@@ -573,7 +585,8 @@ class LinkSession:
                              chunk_rows=chunk_rows, timeout=timeout,
                              max_attempts=max_attempts,
                              retry_backoff_s=retry_backoff_s,
-                             nan_guard=nan_guard, on_error=on_error)
+                             nan_guard=nan_guard, on_error=on_error,
+                             reducers=reducers, keep_results=keep_results)
         if serial:
             return runner.run_serial()
         return runner.run(checkpoint_dir=checkpoint_dir)

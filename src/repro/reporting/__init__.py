@@ -1,14 +1,25 @@
 """Reporting helpers: ASCII figure rendering and table formatting used
 by the benchmark harness to regenerate the paper's tables and figures.
+
+The streaming renderers (:func:`render_histogram`,
+:func:`format_quantile_table`, :func:`format_aggregates`) consume the
+constant-size aggregates a ``keep_results=False`` sweep finalizes
+(:mod:`repro.sweep.reducers`) — a million-scenario distribution
+renders from a few hundred integers, never per-row data.
 """
 
-from .ascii_plots import render_eye, render_gain_curve, render_waveform
-from .tables import format_table, format_comparison
+from .ascii_plots import (render_eye, render_gain_curve, render_histogram,
+                          render_waveform)
+from .tables import (format_aggregates, format_comparison,
+                     format_quantile_table, format_table)
 
 __all__ = [
     "render_eye",
     "render_gain_curve",
     "render_waveform",
+    "render_histogram",
     "format_table",
     "format_comparison",
+    "format_quantile_table",
+    "format_aggregates",
 ]

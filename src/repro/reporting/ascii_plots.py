@@ -15,7 +15,8 @@ import numpy as np
 
 from ..analysis.eye import EyeDiagram
 
-__all__ = ["render_eye", "render_gain_curve", "render_waveform"]
+__all__ = ["render_eye", "render_gain_curve", "render_waveform",
+           "render_histogram"]
 
 _SHADES = " .:-=+*#%@"
 
@@ -54,6 +55,56 @@ def render_eye(eye: EyeDiagram, width: int = 64, height: int = 20,
     lines.append(f"{'0':<{width // 2}}{'1 UI':>{width // 2}}")
     lines.append(f"v: {v_min * 1e3:+.1f} .. {v_max * 1e3:+.1f} mV, "
                  f"{traces.shape[0]} traces")
+    return "\n".join(lines)
+
+
+def render_histogram(histogram, width: int = 64, height: int = 12,
+                     title: Optional[str] = None,
+                     unit: str = "") -> str:
+    """Render a streaming histogram as an ASCII column plot.
+
+    ``histogram`` is anything histogram-shaped — typically the
+    :class:`~repro.sweep.reducers.HistogramResult` a streaming sweep
+    finalizes: ``edges`` (``n_bins + 1`` ascending values), integer
+    ``counts`` per bin, and ``underflow``/``overflow`` tallies.  The
+    whole point of the streaming layer is that this renders a
+    million-scenario distribution from ``n_bins`` integers — no
+    per-row data is ever touched.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("rendering grid too small (min 16x4)")
+    edges = np.asarray(histogram.edges, dtype=float)
+    counts = np.asarray(histogram.counts, dtype=float)
+    if edges.ndim != 1 or counts.ndim != 1 \
+            or edges.size != counts.size + 1:
+        raise ValueError(
+            f"need n_bins + 1 edges for n_bins counts, got "
+            f"{edges.size} edges / {counts.size} counts"
+        )
+    # Re-bin onto the rendering width (sum-preserving: each source bin
+    # lands in exactly one column).
+    columns = np.zeros(width)
+    targets = np.linspace(0, width - 1, counts.size).astype(int) \
+        if counts.size > 1 else np.zeros(1, dtype=int)
+    np.add.at(columns, targets, counts)
+    peak = columns.max()
+    lines = []
+    if title:
+        lines.append(title)
+    for level in range(height, 0, -1):
+        threshold = (level - 0.5) / height
+        row = "".join("#" if peak > 0 and column / peak >= threshold
+                      else " " for column in columns)
+        label = f"{peak * level / height:8.3g}" if peak > 0 else " " * 8
+        lines.append(f"{label} |{row}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lo, hi = f"{edges[0]:.4g}{unit}", f"{edges[-1]:.4g}{unit}"
+    lines.append(" " * 10 + lo + hi.rjust(width - len(lo)))
+    total = int(counts.sum())
+    out_of_range = (int(getattr(histogram, "underflow", 0)),
+                    int(getattr(histogram, "overflow", 0)))
+    lines.append(f"{total} in range, {out_of_range[0]} below, "
+                 f"{out_of_range[1]} above")
     return "\n".join(lines)
 
 

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table", "format_comparison"]
+__all__ = ["format_table", "format_comparison", "format_quantile_table",
+           "format_aggregates"]
 
 
 def _cell(value: object) -> str:
@@ -44,6 +45,52 @@ def format_table(rows: Sequence[Dict[str, object]],
     for line in body:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
     return "\n".join(lines)
+
+
+def format_quantile_table(quantiles, label: str = "value") -> str:
+    """Render a streaming quantile estimate as a two-column table.
+
+    ``quantiles`` is anything quantile-shaped — typically the
+    :class:`~repro.sweep.reducers.QuantilesResult` a streaming sweep
+    finalizes (``qs``, ``values``, ``n``): constant-size state, so a
+    million-scenario distribution renders without per-row data.
+    """
+    rows = [{"quantile": f"p{100 * q:g}", label: value}
+            for q, value in zip(quantiles.qs, quantiles.values)]
+    return (format_table(rows, columns=["quantile", label])
+            + f"\n(n = {quantiles.n})")
+
+
+def _summarize_aggregate(value: object) -> object:
+    """One-cell summary of a finalized aggregate (rich results get a
+    compact human rendering; scalars pass through)."""
+    mean = getattr(value, "mean", None)
+    if mean is not None and hasattr(value, "variance"):
+        return f"{mean:.6g} ± {value.std:.3g} (n={value.n})"
+    if hasattr(value, "n_pass") and hasattr(value, "n_total"):
+        return f"{value.n_pass}/{value.n_total} ({100 * value.fraction:.3g}%)"
+    if hasattr(value, "min") and hasattr(value, "max") \
+            and hasattr(value, "n"):
+        return f"[{value.min:.6g}, {value.max:.6g}] (n={value.n})"
+    if hasattr(value, "qs") and hasattr(value, "values"):
+        return ", ".join(f"p{100 * q:g}={v:.6g}"
+                         for q, v in zip(value.qs, value.values))
+    if hasattr(value, "counts") and hasattr(value, "edges"):
+        return (f"{len(value.counts)} bins over "
+                f"[{value.edges[0]:.6g}, {value.edges[-1]:.6g}], "
+                f"n={value.n}")
+    return value
+
+
+def format_aggregates(aggregates: Dict[str, object]) -> str:
+    """Render a streaming sweep's ``SweepResult.aggregates`` mapping as
+    an aligned table — the whole-study summary a ``keep_results=False``
+    sweep produces instead of a dense result list."""
+    if not aggregates:
+        raise ValueError("no aggregates to format")
+    rows = [{"aggregate": name, "value": _summarize_aggregate(value)}
+            for name, value in aggregates.items()]
+    return format_table(rows, columns=["aggregate", "value"])
 
 
 def format_comparison(label_a: str, label_b: str,

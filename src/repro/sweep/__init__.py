@@ -33,11 +33,23 @@ rows, recorded as :class:`SweepFailure` entries on
 ``SweepResult.failures`` while healthy rows complete.  The
 deterministic fault-injection harness (:mod:`repro.sweep.faults`,
 env-gated via ``REPRO_SWEEP_FAULTS``) exercises all of it in CI.
+
+Million-scenario studies stream instead of retaining: pass
+``reducers={...}`` (:mod:`repro.sweep.reducers` — count/extrema,
+Welford/Chan mean-variance, fixed-bin histograms, online quantiles,
+pass/fail yield) and ``keep_results=False``, and every finished unit
+folds into constant-size mergeable partials instead of a dense result
+list; ``SweepResult.aggregates`` carries the finalized values and the
+checkpoint journal stores partials per unit, so an interrupted
+streaming sweep resumes to identical aggregates.
 """
 
 from .checkpoint import CheckpointJournal
 from .faults import FaultInjected, FaultRule, SweepAbort, inject_faults
 from .grid import ScenarioGrid, SweepAxis, modulation_axis
+from .reducers import (Count, Histogram, HistogramResult, MeanVar,
+                       MeanVarResult, MinMax, MinMaxResult, Quantiles,
+                       QuantilesResult, Reducer, Yield, YieldResult)
 from .runner import SweepFailure, SweepResult, SweepRunner, \
     closed_loop_cdr_measure, dfe_measure
 
@@ -45,4 +57,8 @@ __all__ = ["ScenarioGrid", "SweepAxis", "modulation_axis",
            "SweepRunner", "SweepResult",
            "SweepFailure", "CheckpointJournal", "FaultRule", "FaultInjected",
            "SweepAbort", "inject_faults",
-           "closed_loop_cdr_measure", "dfe_measure"]
+           "closed_loop_cdr_measure", "dfe_measure",
+           "Reducer", "Count", "MinMax", "MeanVar", "Histogram",
+           "Quantiles", "Yield",
+           "MinMaxResult", "MeanVarResult", "HistogramResult",
+           "QuantilesResult", "YieldResult"]

@@ -103,7 +103,13 @@ def describe_callable(fn) -> str:
 
 
 def describe_grid(grid) -> List[Dict[str, Any]]:
-    """Per-axis fingerprint: name, structural flag, size, value hash."""
+    """Per-axis fingerprint: name, structural flag, size, value hash.
+
+    Grids describe themselves (:meth:`repro.sweep.grid.ScenarioGrid.
+    describe`); grid-shaped ducks without a ``describe`` get the same
+    treatment axis by axis."""
+    if hasattr(grid, "describe"):
+        return grid.describe()
     return [
         {
             "name": axis.name,
@@ -145,7 +151,11 @@ class CheckpointJournal:
     # -- unit records --------------------------------------------------------
     def load(self, unit_key: str) -> Optional[Dict[str, Any]]:
         """The journaled record for one unit: ``{"values": [...],
-        "failures": [...]}``, or ``None`` when absent/corrupt."""
+        "failures": [...], "partials": {...}}``, or ``None`` when
+        absent/corrupt.  ``values`` is ``None`` (not a list) for units
+        journaled by a ``keep_results=False`` streaming run — the
+        fingerprint guarantees such records are only ever read back by
+        an identically streaming runner."""
         file = self._units / f"{unit_key}.pkl"
         try:
             with open(file, "rb") as handle:
@@ -161,16 +171,26 @@ class CheckpointJournal:
             file.unlink(missing_ok=True)
             return None
         record.setdefault("failures", [])
+        record.setdefault("partials", None)
         return record
 
-    def store(self, unit_key: str, values: Sequence,
-              failures: Sequence) -> None:
-        """Atomically journal one finished unit."""
+    def store(self, unit_key: str, values: Optional[Sequence],
+              failures: Sequence,
+              partials: Optional[Dict[str, Any]] = None) -> None:
+        """Atomically journal one finished unit.
+
+        ``partials`` are the unit's streaming-reducer states (reducer
+        name → mergeable partial); ``values`` is ``None`` under
+        ``keep_results=False``, so the journal of a million-scenario
+        streaming sweep stays as flat in memory and disk as the sweep
+        itself."""
         file = self._units / f"{unit_key}.pkl"
         tmp = file.with_name(file.name + f".tmp-{os.getpid()}")
         with open(tmp, "wb") as handle:
-            pickle.dump({"values": list(values),
-                         "failures": list(failures)}, handle)
+            pickle.dump({"values": (None if values is None
+                                    else list(values)),
+                         "failures": list(failures),
+                         "partials": partials}, handle)
         os.replace(tmp, file)
 
     def unit_keys(self) -> List[str]:

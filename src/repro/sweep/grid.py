@@ -58,6 +58,18 @@ class SweepAxis:
     def __len__(self) -> int:
         return len(self.values)
 
+    def describe(self) -> Dict:
+        """This axis's checkpoint fingerprint: name, structural flag,
+        size, and a content hash of the values (stable across
+        processes — memory addresses in reprs are stripped)."""
+        from .checkpoint import _clean_repr, _sha
+        return {
+            "name": self.name,
+            "structural": bool(self.structural),
+            "n": len(self),
+            "values": _sha(_clean_repr(self.values))[:16],
+        }
+
 
 def modulation_axis(modulations: Sequence) -> SweepAxis:
     """A structural ``"modulation"`` axis over line codes.
@@ -87,6 +99,15 @@ class ScenarioGrid:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate axis names in {names}")
         self.axes: List[SweepAxis] = list(axes)
+
+    def describe(self) -> List[Dict]:
+        """Per-axis checkpoint fingerprint (see
+        :meth:`SweepAxis.describe`): the grid half of the key the
+        sweep journal is filed under — the runner half adds the
+        callables, chunking, failure policy, and (since fingerprint
+        version 3) the streaming-reducer configuration, so dense and
+        streaming journals never mix."""
+        return [axis.describe() for axis in self.axes]
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -139,6 +160,32 @@ class ScenarioGrid:
         """Parameter dicts over the batchable axes only (one empty dict
         when every axis is structural)."""
         return self._subspace_points(self.batch_axes())
+
+    def batch_points_slice(self, start: int, stop: int) -> List[Dict]:
+        """``list(batch_points())[start:stop]`` computed directly from
+        the axis values by mixed-radix unravelling — ``O(stop - start)``
+        dicts, never the whole enumeration.  The sweep runner
+        materializes each execution unit's rows through this, so
+        supervisor memory holds one chunk's parameter dicts at a time
+        instead of every scenario's for the whole sweep."""
+        axes = self.batch_axes()
+        total = self.n_batch_scenarios()
+        start = max(0, min(int(start), total))
+        stop = max(start, min(int(stop), total))
+        if not axes:
+            return [{}][start:stop]
+        sizes = [len(axis) for axis in axes]
+        rows: List[Dict] = []
+        for flat in range(start, stop):
+            indices: List[int] = []
+            remainder = flat
+            for size in reversed(sizes):
+                indices.append(remainder % size)
+                remainder //= size
+            indices.reverse()
+            rows.append({axis.name: axis.values[i]
+                         for axis, i in zip(axes, indices)})
+        return rows
 
     def n_batch_scenarios(self) -> int:
         """Scenarios per batched pass (product of batchable axis sizes)."""

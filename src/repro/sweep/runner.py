@@ -58,6 +58,7 @@ from ..signals.waveform import Waveform
 from . import faults as _faults
 from .checkpoint import CheckpointJournal, describe_callable, describe_grid
 from .grid import ScenarioGrid
+from .reducers import Reducer, describe_reducers
 
 __all__ = ["SweepRunner", "SweepResult", "SweepFailure",
            "closed_loop_cdr_measure", "dfe_measure"]
@@ -175,14 +176,24 @@ class SweepResult:
     measure function).  Scenarios quarantined by the reliability layer
     have ``results[i] is None`` and a matching :class:`SweepFailure`
     entry in :attr:`failures` (empty for fully healthy sweeps).
+
+    A runner configured with streaming ``reducers`` additionally
+    finalizes them into :attr:`aggregates` (reducer name → finalized
+    value); with ``keep_results=False`` the dense ``params`` /
+    ``results`` lists are not retained at all (both ``None``) and the
+    aggregates are the entire product of the sweep — the shape that
+    keeps a million-scenario study's memory flat.
     """
 
     grid: ScenarioGrid
-    params: List[Dict]
-    results: List[Any]
+    params: Optional[List[Dict]]
+    results: Optional[List[Any]]
     failures: List[SweepFailure] = dataclasses.field(default_factory=list)
+    aggregates: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
+        if self.results is None:
+            return self.grid.n_scenarios
         return len(self.results)
 
     def values(self, extract: Callable[[Any], float], *,
@@ -194,8 +205,17 @@ class SweepResult:
         ``grid.shape``.  Quarantined scenarios (``results[i] is
         None``) become ``nan`` so a partially failed sweep still
         reduces cleanly; pass ``strict=True`` to raise instead, with
-        the failed scenarios' parameters listed.
+        the failed scenarios' parameters listed.  An ``extract`` that
+        raises is re-raised as a :class:`RuntimeError` naming the
+        offending scenario's parameters (chained to the original), so
+        a million-row reduction never dies anonymously.
         """
+        if self.results is None:
+            raise ValueError(
+                "this sweep ran with keep_results=False: per-row results "
+                "were never retained — read the streaming aggregates from "
+                ".aggregates instead"
+            )
         if strict and self.failures:
             shown = [f"{failure.params!r} [{failure.kind}: {failure.error}]"
                      for failure in self.failures[:8]]
@@ -205,8 +225,19 @@ class SweepResult:
                 + "; ".join(shown)
                 + (f"; ... and {more} more" if more > 0 else "")
             )
-        flat = np.array([np.nan if result is None else extract(result)
-                         for result in self.results], dtype=float)
+        flat = np.empty(len(self.results), dtype=float)
+        for i, result in enumerate(self.results):
+            if result is None:
+                flat[i] = np.nan
+                continue
+            try:
+                flat[i] = extract(result)
+            except Exception as error:
+                params = self.params[i] if self.params is not None else "?"
+                raise RuntimeError(
+                    f"extract failed for scenario {i} with params "
+                    f"{params!r}: {error!r}"
+                ) from error
         return flat.reshape(self.grid.shape)
 
     def along(self, axis_name: str) -> Sequence:
@@ -214,7 +245,10 @@ class SweepResult:
         for axis in self.grid.axes:
             if axis.name == axis_name:
                 return axis.values
-        raise KeyError(f"no axis named {axis_name!r}")
+        raise KeyError(
+            f"no axis named {axis_name!r}; available axes: "
+            f"{[axis.name for axis in self.grid.axes]}"
+        )
 
 
 def _apply(processor, wave):
@@ -237,19 +271,30 @@ class _Unit:
     """One (structural point, row-chunk) of work.
 
     ``[start, stop)`` are batch-point indices within the structural
-    point; ``full_params[j]`` is the complete parameter dict of row
-    ``start + j``.  ``attempts`` counts failed tries; ``suspect`` marks
-    units that crashed or timed out and must therefore run isolated
-    (sole in-flight unit) so the next failure is attributable.
+    point; :attr:`full_params` materializes the complete parameter dict
+    of each row *on demand* from the grid (``O(n_rows)`` dicts per
+    access, discarded with the unit's chunk), so the planned unit list
+    costs ``O(n_units)`` — not ``O(n_scenarios)`` parameter dicts held
+    for the whole sweep, which is what lets a ``keep_results=False``
+    run stay memory-flat in scenario count.  ``attempts`` counts failed
+    tries; ``suspect`` marks units that crashed or timed out and must
+    therefore run isolated (sole in-flight unit) so the next failure is
+    attributable.
     """
 
     si: int
     structural_params: Dict
     start: int
     stop: int
-    full_params: List[Dict]
+    grid: ScenarioGrid
     attempts: int = 0
     suspect: bool = False
+
+    @property
+    def full_params(self) -> List[Dict]:
+        return [{**self.structural_params, **bp}
+                for bp in self.grid.batch_points_slice(self.start,
+                                                       self.stop)]
 
     @property
     def n_rows(self) -> int:
@@ -266,23 +311,25 @@ class _Unit:
     def split(self) -> "List[_Unit]":
         """Bisect into two fresh-budget halves (quarantine narrowing)."""
         mid = self.start + self.n_rows // 2
-        cut = mid - self.start
         return [
             _Unit(self.si, self.structural_params, self.start, mid,
-                  self.full_params[:cut], suspect=self.suspect),
+                  self.grid, suspect=self.suspect),
             _Unit(self.si, self.structural_params, mid, self.stop,
-                  self.full_params[cut:], suspect=self.suspect),
+                  self.grid, suspect=self.suspect),
         ]
 
 
 @dataclasses.dataclass
 class _UnitOutcome:
-    """A resolved unit: per-row values (None where quarantined) plus
-    the quarantine records."""
+    """A resolved unit: per-row values (None where quarantined; the
+    whole list is None under ``keep_results=False``), the quarantine
+    records, and — when reducers are configured — the unit's streaming
+    partials (reducer name → mergeable state)."""
 
     unit: _Unit
-    values: List[Any]
+    values: Optional[List[Any]]
     failures: List[SweepFailure]
+    partials: Optional[Dict[str, Any]] = None
 
 
 def _execute_unit(runner: "SweepRunner", unit: _Unit) -> List[Any]:
@@ -396,6 +443,22 @@ class SweepRunner:
         every kind of persistent failure is narrowed to the offending
         rows and recorded on :attr:`SweepResult.failures` while the
         healthy rows complete.
+    reducers:
+        Optional mapping of name → :class:`~repro.sweep.reducers.Reducer`
+        aggregated online over every measured scenario: each finished
+        unit's values fold into a constant-size partial, partials merge
+        in canonical unit order (so pool completion order, retries and
+        checkpoint resume cannot change the result), and the finalized
+        values land on :attr:`SweepResult.aggregates`.  Requires a
+        ``measure`` / ``measure_batch`` — reducing over raw processed
+        waveforms is rejected.
+    keep_results:
+        ``True`` (default): retain the dense per-scenario ``params`` /
+        ``results`` lists exactly as before — the bit-exact legacy
+        path.  ``False`` (requires ``reducers``): drop every row after
+        it has been folded into the reducer partials, so supervisor
+        memory stays flat in scenario count — the shape a
+        million-point Monte Carlo study needs.
     """
 
     grid: ScenarioGrid
@@ -411,6 +474,8 @@ class SweepRunner:
     retry_backoff_s: float = 0.25
     nan_guard: bool = False
     on_error: str = "raise"
+    reducers: Optional[Dict[str, Reducer]] = None
+    keep_results: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_rows is not None and self.chunk_rows < 1:
@@ -436,6 +501,36 @@ class SweepRunner:
             raise ValueError(
                 f"on_error must be 'raise' or 'quarantine', "
                 f"got {self.on_error!r}"
+            )
+        if self.reducers is not None:
+            if not self.reducers:
+                raise ValueError(
+                    "reducers must name at least one reducer (pass "
+                    "reducers=None for a dense sweep)"
+                )
+            if self.measure is None and self.measure_batch is None:
+                raise ValueError(
+                    "reducers need a measure/measure_batch: without one "
+                    "the sweep's per-row results are raw processed "
+                    "Waveforms, and streaming reducers aggregate "
+                    "numbers, not waveforms — pass measure= (e.g. an eye "
+                    "metric) or drop reducers="
+                )
+            for name, reducer in self.reducers.items():
+                missing = [method for method in
+                           ("init", "update", "merge", "finalize")
+                           if not callable(getattr(reducer, method, None))]
+                if missing:
+                    raise TypeError(
+                        f"reducer {name!r} ({type(reducer).__name__}) does "
+                        f"not satisfy the Reducer protocol: missing "
+                        f"{missing} — see repro.sweep.reducers"
+                    )
+        if not self.keep_results and self.reducers is None:
+            raise ValueError(
+                "keep_results=False without reducers would discard every "
+                "result and aggregate nothing — pass reducers= (see "
+                "repro.sweep.reducers) or keep keep_results=True"
             )
 
     # -- batched engine ----------------------------------------------------
@@ -475,8 +570,8 @@ class SweepRunner:
         runner never reuses stale entries).
         """
         structural_points = list(self.grid.structural_points())
-        batch_points = list(self.grid.batch_points())
-        units = self._plan_units(structural_points, batch_points)
+        n_batch = self.grid.n_batch_scenarios()
+        units = self._plan_units(structural_points, n_batch)
         journal = (CheckpointJournal.open(checkpoint_dir,
                                           self._fingerprint())
                    if checkpoint_dir is not None else None)
@@ -498,18 +593,17 @@ class SweepRunner:
                 outcomes.extend(_PoolSupervisor(self, journal).run(todo))
             else:
                 outcomes.extend(self._run_units_inprocess(todo, journal))
-        return self._assemble(structural_points, batch_points, outcomes)
+        return self._assemble(structural_points, n_batch, outcomes)
 
     # -- unit planning / merging -------------------------------------------
     def _plan_units(self, structural_points: List[Dict],
-                    batch_points: List[Dict]) -> List[_Unit]:
-        step = self.chunk_rows or len(batch_points)
+                    n_batch: int) -> List[_Unit]:
+        step = self.chunk_rows or n_batch
         units: List[_Unit] = []
         for si, sp in enumerate(structural_points):
-            for start in range(0, len(batch_points), step):
-                stop = min(start + step, len(batch_points))
-                full = [{**sp, **bp} for bp in batch_points[start:stop]]
-                units.append(_Unit(si, sp, start, stop, full))
+            for start in range(0, n_batch, step):
+                stop = min(start + step, n_batch)
+                units.append(_Unit(si, sp, start, stop, self.grid))
         return units
 
     def _fingerprint(self) -> Dict[str, Any]:
@@ -518,9 +612,12 @@ class SweepRunner:
         failure policy (``on_error`` / ``max_attempts`` / ``timeout``),
         so e.g. quarantine decisions journaled by an
         ``on_error="quarantine"`` run are never replayed as silent
-        ``None`` rows under ``on_error="raise"``."""
+        ``None`` rows under ``on_error="raise"``, and (version 3) the
+        streaming-aggregation config (``reducers`` / ``keep_results``),
+        so a journal written by a dense run is never consumed by a
+        streaming run or vice versa."""
         return {
-            "version": 2,
+            "version": 3,
             "grid": describe_grid(self.grid),
             "stimulus": describe_callable(self.stimulus),
             "build": describe_callable(self.build),
@@ -531,6 +628,8 @@ class SweepRunner:
             "on_error": self.on_error,
             "max_attempts": self.max_attempts,
             "timeout": self.timeout,
+            "reducers": describe_reducers(self.reducers),
+            "keep_results": self.keep_results,
         }
 
     def _load_covering(self, unit: _Unit, journal: CheckpointJournal,
@@ -550,7 +649,8 @@ class SweepRunner:
             record = journal.load(unit.journal_key)
             if record is not None:
                 return [_UnitOutcome(unit, record["values"],
-                                     record["failures"])]
+                                     record["failures"],
+                                     record.get("partials"))]
         if unit.n_rows <= 1:
             return None
         if not any(si == unit.si and unit.start <= start
@@ -564,22 +664,50 @@ class SweepRunner:
             return None
         return [outcome for part in parts for outcome in part]
 
-    def _assemble(self, structural_points: List[Dict],
-                  batch_points: List[Dict],
+    def _assemble(self, structural_points: List[Dict], n_batch: int,
                   outcomes: List[_UnitOutcome]) -> SweepResult:
-        n_batch = len(batch_points)
-        per_point: List[List[Any]] = [[None] * n_batch
-                                      for _ in structural_points]
         failures: List[SweepFailure] = []
         for outcome in outcomes:
-            row = per_point[outcome.unit.si]
-            for j, value in enumerate(outcome.values):
-                row[outcome.unit.start + j] = value
             failures.extend(outcome.failures)
         # Execution order is nondeterministic under a pool; canonical
         # grid order keeps resumed-vs-uninterrupted comparisons exact.
         failures.sort(key=lambda f: self.grid.flat_index(f.params))
-        return self._gather(structural_points, per_point, failures)
+        aggregates = (self._finalize_aggregates(
+                          outcome.partials for outcome in sorted(
+                              outcomes, key=lambda o: o.unit.key))
+                      if self.reducers is not None else None)
+        if not self.keep_results:
+            return SweepResult(grid=self.grid, params=None, results=None,
+                               failures=failures, aggregates=aggregates)
+        per_point: List[List[Any]] = [[None] * n_batch
+                                      for _ in structural_points]
+        for outcome in outcomes:
+            row = per_point[outcome.unit.si]
+            for j, value in enumerate(outcome.values):
+                row[outcome.unit.start + j] = value
+        return self._gather(structural_points, per_point, failures,
+                            aggregates)
+
+    # -- streaming reduction -----------------------------------------------
+    def _reduce_unit(self, values: List[Any],
+                     full_params: List[Dict]) -> Dict[str, Any]:
+        """Fold one finished unit's values into per-reducer partials
+        (``None`` rows — quarantined scenarios — are the reducers'
+        business to skip)."""
+        return {name: reducer.update(reducer.init(), values, full_params)
+                for name, reducer in self.reducers.items()}
+
+    def _finalize_aggregates(self, partials_in_order) -> Dict[str, Any]:
+        """Merge per-unit partials in canonical unit order and
+        finalize.  The fixed merge order is what makes the aggregates
+        independent of pool completion order and resume history."""
+        states = {name: reducer.init()
+                  for name, reducer in self.reducers.items()}
+        for partials in partials_in_order:
+            for name, reducer in self.reducers.items():
+                states[name] = reducer.merge(states[name], partials[name])
+        return {name: reducer.finalize(states[name])
+                for name, reducer in self.reducers.items()}
 
     # -- pool / in-process selection ---------------------------------------
     def _use_pool(self, units: List[_Unit]) -> bool:
@@ -611,10 +739,16 @@ class SweepRunner:
                      failures: List[SweepFailure],
                      sink: List[_UnitOutcome],
                      journal: Optional[CheckpointJournal]) -> None:
-        outcome = _UnitOutcome(unit, list(values), failures)
+        partials = (self._reduce_unit(values, unit.full_params)
+                    if self.reducers is not None else None)
+        # keep_results=False is the whole point of streaming: the rows
+        # are dropped here, right after folding into the partials, so
+        # neither the outcome sink nor the journal ever holds them.
+        kept = list(values) if self.keep_results else None
+        outcome = _UnitOutcome(unit, kept, failures, partials)
         if journal is not None:
             journal.store(unit.journal_key, outcome.values,
-                          outcome.failures)
+                          outcome.failures, outcome.partials)
         sink.append(outcome)
 
     def _after_failed_attempt(self, unit: _Unit, kind: str, error: str,
@@ -724,9 +858,11 @@ class SweepRunner:
         structural_points = list(self.grid.structural_points())
         batch_points = list(self.grid.batch_points())
         per_point: List[List[Any]] = []
+        point_partials: List[Dict[str, Any]] = []
         for sp in structural_points:
             processor = self.build(sp) if self.build is not None else None
             values: List[Any] = []
+            point_params: List[Dict] = []
             for bp in batch_points:
                 params = {**sp, **bp}
                 out = _apply(processor, self.stimulus(params))
@@ -738,13 +874,26 @@ class SweepRunner:
                     values.append(self.measure_batch(single, [params])[0])
                 else:
                     values.append(out)
-            per_point.append(values)
-        return self._gather(structural_points, per_point, [])
+                point_params.append(params)
+            if self.reducers is not None:
+                # One partial per structural point (the serial path has
+                # no chunks); canonical-order merge in _finalize.
+                point_partials.append(self._reduce_unit(values,
+                                                        point_params))
+            if self.keep_results:
+                per_point.append(values)
+        aggregates = (self._finalize_aggregates(point_partials)
+                      if self.reducers is not None else None)
+        if not self.keep_results:
+            return SweepResult(grid=self.grid, params=None, results=None,
+                               failures=[], aggregates=aggregates)
+        return self._gather(structural_points, per_point, [], aggregates)
 
     # -- assembly ----------------------------------------------------------
     def _gather(self, structural_points: List[Dict],
                 per_point: List[List[Any]],
-                failures: List[SweepFailure]) -> SweepResult:
+                failures: List[SweepFailure],
+                aggregates: Optional[Dict[str, Any]] = None) -> SweepResult:
         """Scatter per-structural-point results into canonical order.
 
         Indices are computed positionally (the structural/batch point
@@ -784,7 +933,7 @@ class SweepRunner:
                 params[index] = {**sp, **bp}
                 results[index] = value
         return SweepResult(grid=self.grid, params=params, results=results,
-                           failures=failures)
+                           failures=failures, aggregates=aggregates)
 
 
 # ---------------------------------------------------------------------------

@@ -58,6 +58,22 @@ def test_points_order_is_row_major_and_flat_index_inverts_it():
         assert grid.flat_index(point) == i
 
 
+def test_batch_points_slice_matches_enumeration():
+    grid = ScenarioGrid([
+        SweepAxis("corner", ("ss", "tt"), structural=True),
+        SweepAxis("seed", (0, 1, 2)),
+        SweepAxis("amplitude", (0.1, 0.2)),
+    ])
+    dense = list(grid.batch_points())
+    for start, stop in [(0, 6), (0, 0), (2, 5), (4, 99), (-3, 2), (6, 6)]:
+        assert grid.batch_points_slice(start, stop) == dense[
+            max(0, start):max(0, stop)]
+    # All-structural grids have the single empty batch point.
+    solo = ScenarioGrid([SweepAxis("corner", ("ss",), structural=True)])
+    assert solo.batch_points_slice(0, 1) == [{}]
+    assert solo.batch_points_slice(1, 2) == []
+
+
 def test_flat_index_validation():
     grid = ScenarioGrid([SweepAxis("a", (1, 2))])
     with pytest.raises(KeyError):

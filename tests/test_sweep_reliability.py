@@ -15,8 +15,9 @@ import pytest
 
 from repro.lti import GainBlock
 from repro.signals import Waveform
-from repro.sweep import (CheckpointJournal, FaultInjected, FaultRule,
-                         ScenarioGrid, SweepAxis, SweepFailure, SweepRunner,
+from repro.sweep import (CheckpointJournal, Count, FaultInjected, FaultRule,
+                         Histogram, MeanVar, MinMax, Quantiles, ScenarioGrid,
+                         SweepAxis, SweepFailure, SweepRunner, Yield,
                          inject_faults)
 from repro.sweep import faults as faults_mod
 from repro.sweep.checkpoint import describe_callable
@@ -53,6 +54,22 @@ def make_runner(**kwargs):
                     chunk_rows=2, retry_backoff_s=0.0)
     defaults.update(kwargs)
     return SweepRunner(grid, **defaults)
+
+
+def passes_threshold(value, params):
+    return value > 1.0
+
+
+def streaming_reducers():
+    """Picklable reducer set (pool tests ship the runner to workers)."""
+    return {
+        "n": Count(),
+        "mv": MeanVar(),
+        "extrema": MinMax(),
+        "hist": Histogram(0.0, 3.5, n_bins=16),
+        "q": Quantiles(qs=(0.1, 0.5, 0.9), lo=0.0, hi=3.5, n_bins=64),
+        "yield": Yield(passes_threshold),
+    }
 
 
 def expected_values(runner):
@@ -472,3 +489,43 @@ def test_e2e_crash_quarantine_then_checkpoint_resume(tmp_path):
     assert resumed.results == uninterrupted.results
     assert resumed.params == uninterrupted.params
     assert resumed.failures == []
+
+
+def test_e2e_streaming_kill_worker_resume_identical_aggregates(tmp_path):
+    """Streaming acceptance: a pooled keep_results=False sweep loses a
+    worker mid-run (transient crash), then the supervisor itself dies
+    (abort) leaving a partial journal of reducer partials; the resumed
+    sweep finalizes aggregates bit-identical to an uninterrupted
+    in-process streaming run — partials merge in canonical unit order,
+    so neither the kill, the pool's completion order, nor the resume
+    can shift the result."""
+    reference = make_runner(reducers=streaming_reducers(),
+                            keep_results=False).run()
+    runner = make_runner(processes=2, on_error="quarantine",
+                         reducers=streaming_reducers(),
+                         keep_results=False)
+    with inject_faults([
+        FaultRule(mode="crash", si=0, start=2, times=1),
+        FaultRule(mode="abort", si=1, start=4),
+    ], tmp_path / "faults"):
+        with pytest.raises(faults_mod.SweepAbort):
+            runner.run(checkpoint_dir=tmp_path / "ckpt")
+    journal = CheckpointJournal.open(tmp_path / "ckpt",
+                                     runner._fingerprint())
+    assert 0 < len(journal) < 8          # died mid-sweep, partials kept
+
+    resumed = runner.run(checkpoint_dir=tmp_path / "ckpt")
+    assert resumed.results is None and resumed.params is None
+    assert resumed.failures == []        # the crash was transient
+    assert set(resumed.aggregates) == set(reference.aggregates)
+    for name, expected in reference.aggregates.items():
+        actual = resumed.aggregates[name]
+        if hasattr(expected, "counts"):
+            np.testing.assert_array_equal(actual.counts, expected.counts)
+            assert (actual.underflow, actual.overflow) \
+                == (expected.underflow, expected.overflow)
+        elif hasattr(expected, "variance"):
+            assert (actual.n, actual.mean, actual.variance) \
+                == (expected.n, expected.mean, expected.variance)
+        else:
+            assert actual == expected, name
