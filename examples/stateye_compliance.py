@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compliance-grade BER contours on the backplane, NRZ vs PAM4.
+
+Pattern simulation bottoms out around BER 1e-6 — counting even one
+error at 1e-15 would take ~30 hours of real 10 Gb/s traffic per
+scenario.  The statistical eye engine computes the exact sampled
+amplitude distribution from the single-symbol pulse response instead,
+so the 1e-15 contour of the paper's backplane link is a millisecond
+calculation.  This example renders the statistical eye, the 1e-15
+contour and the bathtub curve for the same channel driven NRZ and
+PAM4, and prints the compliance summary both ways.
+
+Run:  python examples/stateye_compliance.py
+"""
+
+import numpy as np
+
+from repro import StatEye
+from repro.analysis.isi import pulse_response
+from repro.channel.backplane import BackplaneChannel
+from repro.reporting import format_table, render_bathtub, render_stateye
+from repro.signals.modulation import Nrz, Pam4
+
+BIT_RATE = 10e9          # symbols/s — PAM4 then carries 20 Gb/s
+CHANNEL_M = 0.15
+AMPLITUDE = 0.6          # V peak-to-peak drive
+NOISE_RMS = 4e-3         # V slicer-referred
+RJ_RMS_UI = 0.01
+DJ_PP_UI = 0.05
+CONTOUR_BER = 1e-15
+N_VOLTAGES = 1025        # fine grid: 1e-15 tails need dv << noise_rms
+
+
+def main() -> None:
+    channel = BackplaneChannel(CHANNEL_M)
+    pulse = pulse_response(channel, BIT_RATE, amplitude=AMPLITUDE)
+
+    rows = []
+    for modulation in (Nrz(), Pam4()):
+        engine = StatEye(modulation=modulation, noise_rms=NOISE_RMS,
+                         rj_rms_ui=RJ_RMS_UI, dj_pp_ui=DJ_PP_UI,
+                         target_ber=CONTOUR_BER, n_voltages=N_VOLTAGES)
+        result = engine.analyze(pulse)
+
+        print(render_stateye(
+            result, title=f"\n{modulation.name.upper()} statistical eye "
+            f"({CHANNEL_M:.1f} m backplane, worst sub-eye)"))
+        print(render_bathtub(
+            result.bathtub(), target_ber=CONTOUR_BER,
+            title=f"{modulation.name.upper()} bathtub "
+            f"(fixed optimal thresholds)"))
+
+        lower, upper = result.contour(CONTOUR_BER)
+        open_phases = np.isfinite(lower)
+        rows.append({
+            "modulation": modulation.name,
+            "BER at optimum": f"{max(result.ber, result.ber_floor):.2e}",
+            f"eye height @ {CONTOUR_BER:g} (mV)":
+                1e3 * result.eye_height_at(CONTOUR_BER),
+            f"eye width @ {CONTOUR_BER:g} (UI)":
+                result.eye_width_ui_at(CONTOUR_BER),
+            "open phases (UI)": float(open_phases.mean()),
+            "bits/symbol": modulation.bits_per_symbol,
+        })
+
+    print()
+    print(format_table(rows))
+    print(
+        "\nSame channel, same pulse response: PAM4 doubles the bits per\n"
+        "symbol but each sub-eye starts with a third of the separation,\n"
+        "which is the NRZ-vs-PAM4 trade the contours quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

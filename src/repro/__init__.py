@@ -100,6 +100,8 @@ from .baselines import (
 )
 from .cdr import BangBangCdr, CdrConfig, CdrResult
 from .serdes import Serializer, Deserializer, run_link, LinkReport
+from .stateye import (StatEye, StatEyeBatchResult, StatEyeResult,
+                      stat_eye_measure, stat_eye_stimulus)
 from .sweep import (Count, Histogram, MeanVar, MinMax, Quantiles,
                     ScenarioGrid, SweepAxis, SweepFailure, SweepResult,
                     SweepRunner, Yield, modulation_axis)
@@ -181,6 +183,11 @@ __all__ = [
     "q_to_ber",
     "bathtub_from_waveform",
     "pulse_response",
+    "StatEye",
+    "StatEyeResult",
+    "StatEyeBatchResult",
+    "stat_eye_measure",
+    "stat_eye_stimulus",
     "table1_rows",
     "measured_this_work",
     "paper_style_comparison",

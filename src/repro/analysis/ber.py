@@ -194,33 +194,55 @@ def bathtub_from_waveform(wave: Waveform, bit_rate: float,
                           n_phases: int = 101) -> BathtubCurve:
     """Construct a bathtub curve from a simulated waveform.
 
-    The left and right eye crossings are located from the folded
-    crossing-time distribution; a Gaussian is fitted to each and the BER
-    at every phase is the sum of the two tail probabilities (the
-    transition density factor 0.5 is applied, matching the convention of
-    jitter analyzers).
+    Dual-Dirac/Gaussian tail fit: the folded crossing cluster is split
+    at its median into a left and a right sub-population (the two Dirac
+    positions of the dual-Dirac jitter model), a Gaussian tail is
+    fitted to each side, and the BER at every sampling phase is the sum
+    of the two encroaching tail probabilities (with the 0.5 transition
+    density factor, matching jitter-analyzer convention).
+
+    A side with fewer than 2 finite crossings carries no spread
+    estimate of its own; it falls back to the pooled cluster statistics
+    instead of silently extrapolating a NaN/inf tail — near-closed eyes
+    always yield a finite curve.
     """
     if n_phases < 11:
         raise ValueError(f"n_phases must be >= 11, got {n_phases}")
     eye = EyeDiagram(wave, bit_rate, skip_ui=skip_ui)
     crossings = eye.crossing_times_ui()
+    crossings = crossings[np.isfinite(crossings)]
     if crossings.size < 4:
         raise ValueError("too few crossings for a bathtub curve")
 
     center = float(np.median(crossings))
-    mu = center
-    sigma = float(np.std(crossings))
-    sigma = max(sigma, 1e-6)
+    pooled_sigma = max(float(np.std(crossings)), 1e-6)
+
+    def fit_side(side: np.ndarray) -> "tuple[float, float]":
+        if side.size < 2:
+            return center, pooled_sigma
+        return float(np.mean(side)), max(float(np.std(side)), 1e-6)
+
+    mu_left, sigma_left = fit_side(crossings[crossings <= center])
+    mu_right, sigma_right = fit_side(crossings[crossings > center])
 
     phases = np.linspace(0.0, 1.0, n_phases)
-    # Crossings repeat at mu + k for every integer k: measure each
-    # phase against the nearest crossing below (distance ``offset``) and
-    # above (``1 - offset``) so a crossing cluster sitting at either
-    # side of the 0/1 UI seam produces the same curve.
-    def tail(x: np.ndarray) -> np.ndarray:
+
+    def tail(x: np.ndarray, sigma: float) -> np.ndarray:
         return 0.5 * erfc(x / (sigma * math.sqrt(2.0)))
 
-    offset = np.mod(phases - mu, 1.0)
-    ber = np.clip(0.5 * tail(offset) + 0.5 * tail(1.0 - offset),
-                  1e-30, 0.5)
+    def wrapped(x: np.ndarray) -> np.ndarray:
+        # Signed circular distance in [-0.5, 0.5): crossings repeat at
+        # mu + k for every integer k, and a phase on the wrong side of
+        # a Dirac must see a *negative* distance (erfc -> 1, BER
+        # saturating), not the repetition one UI away.
+        return np.mod(x + 0.5, 1.0) - 0.5
+
+    # The right Dirac's right-going tail threatens the phases after it,
+    # the left Dirac's left-going tail the phases before it, so a
+    # cluster sitting at either side of the 0/1 UI seam produces the
+    # same curve and phases inside the cluster saturate near BER 0.5.
+    ber = np.clip(
+        0.5 * tail(wrapped(phases - mu_right), sigma_right)
+        + 0.5 * tail(wrapped(mu_left - phases), sigma_left),
+        1e-30, 0.5)
     return BathtubCurve(phases_ui=phases, ber=ber)

@@ -15,12 +15,13 @@ makes this quantitative without simulating long patterns:
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..lti.blocks import Block
 from ..signals.batch import WaveformBatch
+from ..signals.modulation import Modulation
 from ..signals.nrz import bits_to_nrz
 from ..signals.waveform import Waveform
 
@@ -41,6 +42,33 @@ class PulseResponse:
     cursors: np.ndarray
     cursor_index: int
 
+    @classmethod
+    def from_waveform(cls, wave: Waveform,
+                      bit_rate: float) -> "PulseResponse":
+        """Interpret an already-measured (baseline-free) response.
+
+        ``wave`` must be the system's response to a lone unit pulse
+        with the baseline removed — e.g. the processed difference
+        stimulus of :func:`repro.stateye.stat_eye_stimulus`.  Cursors
+        are sampled at UI spacing through the peak, exactly as
+        :func:`pulse_response` does.
+        """
+        data = np.asarray(wave.data, dtype=float)
+        if data.size < 2:
+            raise ValueError("pulse waveform needs at least 2 samples")
+        ratio = wave.sample_rate / bit_rate
+        spb = int(round(ratio))
+        if spb < 2 or abs(ratio - spb) > 1e-9 * spb:
+            raise ValueError(
+                f"sample rate must be an integer multiple (>= 2) of the "
+                f"bit rate, got {ratio:g} samples per UI"
+            )
+        peak = int(np.argmax(np.abs(data)))
+        offset = peak % spb
+        return cls(wave=wave, bit_rate=bit_rate,
+                   cursors=np.asarray(data[offset::spb]),
+                   cursor_index=peak // spb)
+
     @property
     def main_cursor(self) -> float:
         """The decision-instant amplitude."""
@@ -54,14 +82,39 @@ class PulseResponse:
         """ISI taps after the main cursor."""
         return self.cursors[self.cursor_index + 1:]
 
-    def isi_sum(self) -> float:
-        """Total absolute ISI from all non-main taps."""
-        others = np.concatenate([self.precursors(), self.postcursors()])
-        return float(np.sum(np.abs(others)))
+    def isi_sum(self, modulation: Optional[Modulation] = None) -> float:
+        """Worst-case peak-to-peak ISI excursion of the sampled voltage.
 
-    def worst_case_opening(self) -> float:
-        """Peak-distortion eye bound: main - sum|others| (can be < 0)."""
-        return self.main_cursor - self.isi_sum()
+        With normalized levels spanning ``span = max - min`` (1.0 for
+        the shipped alphabets), each non-main tap ``c`` contributes at
+        most ``span * |c|`` peak to peak, so the total is
+        ``span * sum|others|`` — for two-level NRZ exactly the
+        historical ``sum|others|``.
+        """
+        others = np.concatenate([self.precursors(), self.postcursors()])
+        total = float(np.sum(np.abs(others)))
+        if modulation is None:
+            return total
+        levels = np.asarray(modulation.levels, dtype=float)
+        return float(levels.max() - levels.min()) * total
+
+    def worst_case_opening(self,
+                           modulation: Optional[Modulation] = None) -> float:
+        """Peak-distortion eye bound (can be < 0 when ISI closes it).
+
+        For each sub-eye the separation of its two adjacent levels is
+        eroded by the full peak-to-peak ISI excursion:
+        ``sep_e * main - isi_sum(modulation)``; the bound is the
+        narrowest sub-eye's.  A PAM4 inner eye starts with one third of
+        the NRZ separation but suffers the *same* ISI excursion, which
+        the historical two-level formula (``modulation=None``, exactly
+        ``main - sum|others|``) misses.
+        """
+        if modulation is None:
+            return self.main_cursor - self.isi_sum()
+        levels = np.asarray(modulation.levels, dtype=float)
+        min_sep = float(np.min(np.diff(levels)))
+        return min_sep * self.main_cursor - self.isi_sum(modulation)
 
     def isi_ratio_db(self) -> float:
         """Main cursor over total ISI in dB (higher = cleaner)."""
@@ -90,17 +143,8 @@ def pulse_response(system: Block, bit_rate: float,
                            amplitude=amplitude,
                            samples_per_bit=samples_per_bit)
     response = system.process(stimulus).data - system.process(baseline).data
-
-    spb = samples_per_bit
-    peak = int(np.argmax(np.abs(response)))
-    # Sample the response at UI spacing through the peak.
-    offset = peak % spb
-    sampled = response[offset::spb]
-    cursor_index = peak // spb
-    wave = Waveform(response, stimulus.sample_rate)
-    return PulseResponse(wave=wave, bit_rate=bit_rate,
-                         cursors=np.asarray(sampled),
-                         cursor_index=cursor_index)
+    return PulseResponse.from_waveform(
+        Waveform(response, stimulus.sample_rate), bit_rate)
 
 
 def pulse_response_batch(system: Block, bit_rate: float,
@@ -133,23 +177,18 @@ def pulse_response_batch(system: Block, bit_rate: float,
         for a in amplitudes
     ])
     responses = system.process(stimuli).data - system.process(baselines).data
-
-    spb = samples_per_bit
-    out: List[PulseResponse] = []
-    for row in responses:
-        peak = int(np.argmax(np.abs(row)))
-        offset = peak % spb
-        sampled = row[offset::spb]
-        out.append(PulseResponse(
-            wave=Waveform(row, stimuli.sample_rate), bit_rate=bit_rate,
-            cursors=np.asarray(sampled), cursor_index=peak // spb,
-        ))
-    return out
+    return [
+        PulseResponse.from_waveform(Waveform(row, stimuli.sample_rate),
+                                    bit_rate)
+        for row in responses
+    ]
 
 
 def worst_case_eye_opening(system: Block, bit_rate: float,
                            samples_per_bit: int = 32,
-                           amplitude: float = 1.0) -> float:
-    """One-call peak-distortion eye bound for a system."""
+                           amplitude: float = 1.0,
+                           modulation: Optional[Modulation] = None) -> float:
+    """One-call peak-distortion eye bound for a system (worst sub-eye
+    of ``modulation`` when given, two-level NRZ otherwise)."""
     return pulse_response(system, bit_rate, samples_per_bit=samples_per_bit,
-                          amplitude=amplitude).worst_case_opening()
+                          amplitude=amplitude).worst_case_opening(modulation)

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.eye import EyeMeasurement, measure_eye_batch
+from ..analysis.isi import pulse_response
 from ..baselines.dfe import (
     DecisionFeedbackEqualizer,
     inner_eye_height_from_corrected,
@@ -401,6 +402,45 @@ class LinkSession:
         """
         batch, was_single = _lift(signal)
         return _lower(_run_stages(self.stages, batch), was_single)
+
+    def statistical_eye(self, engine: "Optional[Any]" = None, *,
+                        amplitude: float = 1.0, samples_per_bit: int = 32,
+                        n_lead_bits: Optional[int] = None,
+                        n_lag_bits: Optional[int] = None,
+                        **engine_fields):
+        """Statistical eye/BER analysis of this link (the StatEye mode).
+
+        Measures the chain's single-symbol pulse response (lone-one
+        stimulus minus the all-zero baseline through the full chain at
+        its operating point, via
+        :func:`~repro.analysis.isi.pulse_response`) and runs the
+        convolution-based engine on it: exact ISI PDFs, Gaussian noise
+        and RJ/DJ jitter folded into per-sub-eye BER(t, v) surfaces —
+        contours, bathtubs and BER down to the 1e-15 compliance tails
+        that pattern simulation cannot reach.
+
+        ``engine`` is a ready :class:`~repro.stateye.StatEye`; keyword
+        ``engine_fields`` (e.g. ``noise_rms=5e-3``, ``rj_rms_ui=0.01``)
+        build one around the session's modulation, or override fields
+        of a given engine.  ``amplitude`` must match the peak-to-peak
+        stimulus swing of the time-domain runs being modeled.  Returns
+        a :class:`~repro.stateye.StatEyeResult`.
+        """
+        from ..stateye import StatEye
+
+        if engine is None:
+            engine = StatEye(modulation=self.modulation, **engine_fields)
+        elif engine_fields:
+            engine = dataclasses.replace(engine, **engine_fields)
+        if n_lead_bits is None:
+            n_lead_bits = max(4, engine.n_precursors + 4)
+        if n_lag_bits is None:
+            n_lag_bits = max(8, engine.n_postcursors + 4)
+        pulse = pulse_response(self, self.bit_rate,
+                               samples_per_bit=samples_per_bit,
+                               n_lead_bits=n_lead_bits,
+                               n_lag_bits=n_lag_bits, amplitude=amplitude)
+        return engine.analyze(pulse)
 
     def _analyze(self, out: WaveformBatch,
                  modulation: Optional[Modulation] = None) -> LinkBatchResult:

@@ -8,8 +8,8 @@ constant-size aggregates a ``keep_results=False`` sweep finalizes
 renders from a few hundred integers, never per-row data.
 """
 
-from .ascii_plots import (render_eye, render_gain_curve, render_histogram,
-                          render_waveform)
+from .ascii_plots import (render_bathtub, render_eye, render_gain_curve,
+                          render_histogram, render_stateye, render_waveform)
 from .tables import (format_aggregates, format_comparison,
                      format_quantile_table, format_table)
 
@@ -18,6 +18,8 @@ __all__ = [
     "render_gain_curve",
     "render_waveform",
     "render_histogram",
+    "render_stateye",
+    "render_bathtub",
     "format_table",
     "format_comparison",
     "format_quantile_table",

@@ -16,7 +16,7 @@ import numpy as np
 from ..analysis.eye import EyeDiagram
 
 __all__ = ["render_eye", "render_gain_curve", "render_waveform",
-           "render_histogram"]
+           "render_histogram", "render_stateye", "render_bathtub"]
 
 _SHADES = " .:-=+*#%@"
 
@@ -105,6 +105,91 @@ def render_histogram(histogram, width: int = 64, height: int = 12,
                     int(getattr(histogram, "overflow", 0)))
     lines.append(f"{total} in range, {out_of_range[0]} below, "
                  f"{out_of_range[1]} above")
+    return "\n".join(lines)
+
+
+def render_stateye(result, width: int = 64, height: int = 20,
+                   eye: Optional[int] = None,
+                   title: Optional[str] = None) -> str:
+    """Render a statistical eye (BER(t, v) surface) as ASCII.
+
+    ``result`` is a :class:`~repro.stateye.StatEyeResult`; cell darkness
+    encodes log10(BER) from the result's ``ber_floor`` (blank, fully
+    open) up to 0.5 (darkest, closed) — the character-art analogue of
+    the classic StatEye colour map.  ``eye`` selects a sub-eye (default:
+    the worst one).  Cells are worst-case (max-BER) pooled so a thin
+    closed streak never disappears in the downsampling.
+    """
+    if width < 16 or height < 8:
+        raise ValueError("rendering grid too small (min 16x8)")
+    surface = np.asarray(result.ber_surface(eye), dtype=float)
+    floor = float(result.ber_floor)
+    log_ber = np.log10(np.clip(surface, floor, 0.5))
+    lo, hi = np.log10(floor), np.log10(0.5)
+    # Worst-case pooling onto the rendering grid: voltage axis tops out
+    # the plot (ascending grid -> first rendered row is the max voltage).
+    cols = np.linspace(0, width, result.n_phases + 1)[:-1].astype(int)
+    rows = height - 1 - np.linspace(
+        0, height, result.n_voltages + 1)[:-1].astype(int)
+    rows = np.clip(rows, 0, height - 1)
+    grid = np.full((height, width), lo)
+    for p in range(result.n_phases):
+        np.maximum.at(grid[:, cols[p]], rows, log_ber[p])
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        norm = (row - lo) / max(hi - lo, 1e-12)
+        lines.append("".join(
+            _SHADES[int(v * (len(_SHADES) - 1))] for v in norm))
+    lines.append(f"{'0':<{width // 2}}{'1 UI':>{width // 2}}")
+    v = result.voltages
+    lines.append(
+        f"v: {v[0] * 1e3:+.1f} .. {v[-1] * 1e3:+.1f} mV, "
+        f"BER {result.ber:.2e} @ phase {result.best_phase_ui:.3f} UI"
+    )
+    return "\n".join(lines)
+
+
+def render_bathtub(curve, width: int = 64, height: int = 16,
+                   title: Optional[str] = None,
+                   target_ber: Optional[float] = None) -> str:
+    """Render a bathtub curve (log-BER vs sampling phase) as ASCII.
+
+    ``curve`` is a :class:`~repro.analysis.ber.BathtubCurve` — from the
+    time-domain fit or a statistical eye's :meth:`bathtub`.  The y axis
+    is log10(BER) with decade labels; an optional ``target_ber`` draws
+    a horizontal marker line at the compliance level.
+    """
+    if width < 16 or height < 8:
+        raise ValueError("rendering grid too small (min 16x8)")
+    phases = np.asarray(curve.phases_ui, dtype=float)
+    log_ber = np.log10(np.clip(np.asarray(curve.ber, dtype=float),
+                               1e-300, 0.5))
+    lo = float(np.floor(log_ber.min()))
+    hi = float(np.ceil(max(log_ber.max(), lo + 1.0)))
+    span = max(hi - lo, 1e-12)
+    x = ((phases - phases.min()) / max(np.ptp(phases), 1e-12)
+         * (width - 1)).astype(int)
+    y = ((hi - log_ber) / span * (height - 1)).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+    if target_ber is not None:
+        if not 0.0 < target_ber < 0.5:
+            raise ValueError(
+                f"target_ber must be in (0, 0.5), got {target_ber}"
+            )
+        ty = int((hi - np.log10(target_ber)) / span * (height - 1))
+        if 0 <= ty < height:
+            grid[ty] = ["-"] * width
+    for xi, yi in zip(x, np.clip(y, 0, height - 1)):
+        grid[yi][xi] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = hi - i * span / (height - 1)
+        lines.append(f"1e{label:+04.0f} |" + "".join(row))
+    lines.append(" " * 7 + f"{'0':<{width // 2}}{'1 UI':>{width // 2}}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,32 @@
+"""Statistical eye/BER engine (StatEye-style peak-distortion analysis).
+
+The time-domain path (``repro.link``) estimates BER by simulating
+patterns — exact waveform physics, but tails below ~1e-6 are
+unreachable by construction.  This package computes the *exact* sampled
+amplitude distribution from the single-symbol pulse response instead:
+per-cursor ISI level-set PDFs convolved on a fixed voltage grid,
+Gaussian noise and dual-Dirac + Gaussian jitter folded in, yielding
+full per-sub-eye BER(t, v) surfaces, statistical eye contours, bathtub
+curves and BERs down to the 1e-15 compliance tails — in milliseconds
+per scenario, vectorized over batches.
+
+Entry points:
+
+* :class:`StatEye` — the engine (``analyze`` / ``analyze_batch``);
+* :meth:`repro.link.LinkSession.statistical_eye` — the facade mode;
+* :func:`stat_eye_measure` / :func:`stat_eye_stimulus` — the sweep
+  measure pair for ``SweepRunner``/reducer aggregation;
+* :class:`StatEyeResult` / :class:`StatEyeBatchResult` — typed results.
+"""
+
+from .engine import StatEye
+from .measure import stat_eye_measure, stat_eye_stimulus
+from .result import StatEyeBatchResult, StatEyeResult
+
+__all__ = [
+    "StatEye",
+    "StatEyeResult",
+    "StatEyeBatchResult",
+    "stat_eye_measure",
+    "stat_eye_stimulus",
+]

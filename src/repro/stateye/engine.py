@@ -1,0 +1,406 @@
+"""The statistical eye/BER engine: exact ISI-PDF convolution.
+
+Pattern simulation estimates BER by counting errors, so observing a
+compliance-grade tail (1e-12..1e-15) needs ~10/BER transmitted bits —
+physically unreachable.  The statistical (StatEye/peak-distortion) view
+computes the same distribution in closed form from the *single-symbol
+pulse response*:
+
+* For a linear chain, the received waveform is the superposition
+  ``v(t) = sum_k l_{s_k} * p(t - k*UI)`` of one pulse response ``p``
+  per transmitted symbol, with ``l`` the normalized modulation levels
+  (the repo's encoders satisfy this identity exactly away from the
+  stream edges, including the tanh-edge encoder — the edge transitions
+  telescope).
+* Sampling at phase ``t`` therefore sees the main cursor ``l_0 * c_0(t)``
+  plus the ISI sum over neighbouring cursors ``c_k(t) = p(t + k*UI)``.
+  With i.i.d. equiprobable symbols each cursor contributes an
+  independent ``L``-point amplitude distribution, and the exact ISI
+  voltage PDF is the discrete convolution of those per-cursor level
+  sets on a fixed voltage grid.
+* Gaussian noise multiplies in as its characteristic function; RJ/DJ
+  jitter folds in along the (periodic) phase axis as a circular
+  convolution with the dual-Dirac + Gaussian timing kernel.
+
+Each cursor's ``L``-spike distribution is deposited on the voltage grid
+with sum-preserving linear splitting and the convolutions are evaluated
+in the ``rfft`` domain (circular convolution == exact discrete
+convolution while the support fits the grid — the grid is sized, or
+validated against ``v_half_span``, so it always does).  Everything is
+vectorized over ``(scenario, phase)`` rows, giving a full
+``(n_scenarios, n_eyes, n_phases, n_voltages)`` BER surface stack in
+milliseconds per scenario; ``chunk_scenarios`` bounds the working-set
+memory and ``keep_surfaces=False`` keeps only the per-scenario
+summaries (the flat-memory sweep mode).
+
+Two resolution effects bound the deepest trustworthy BER.  The float64
+FFT/cumsum pipeline carries ~1e-15 of absolute noise in CDF terms, and
+the linear-split spike deposits smear each ISI spike by up to one grid
+step ``dv`` — harmless while ``dv`` is small against the noise sigma,
+but a coarse grid (``dv >~ 0.5 * noise_rms``) biases the extreme tails
+visibly.  The default ``n_voltages=513`` keeps compliance-grade
+(1e-12..1e-15) surfaces honest for the repo's typical swing/noise
+ratios; raise it (or shrink ``v_half_span``) when probing 1e-15
+contours with very small noise on a wide grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.isi import PulseResponse
+from ..signals.modulation import Modulation, Nrz
+from .result import StatEyeBatchResult, StatEyeResult
+
+__all__ = ["StatEye"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StatEye:
+    """Statistical eye/BER engine configuration + analysis entry points.
+
+    Parameters
+    ----------
+    modulation:
+        Line code whose level alphabet drives the cursor level sets and
+        sub-eye count (NRZ default; PAM4 gives all three sub-eyes).
+    n_phases:
+        Sampling phases across one UI (the time axis of the surfaces).
+    n_voltages:
+        Voltage-grid resolution (the threshold axis of the surfaces).
+    n_precursors / n_postcursors:
+        ISI cursor span around the main cursor; the cursor window is
+        ``n_precursors + 1 + n_postcursors`` UI wide.
+    noise_rms:
+        Slicer-referred Gaussian noise sigma in volts.
+    rj_rms_ui / dj_pp_ui:
+        Random (Gaussian sigma) and deterministic (dual-Dirac
+        peak-to-peak) jitter in UI, folded along the phase axis.
+    v_half_span:
+        Optional fixed half-extent of the voltage grid in volts.  By
+        default the grid is sized per call to contain the ISI support
+        plus 10-sigma noise tails; pin it to make independent calls
+        (e.g. a sweep's serial and batched paths, or NRZ-vs-PAM4
+        comparisons) share bit-identical grids.
+    target_ber:
+        Default BER for contours/eye-opening summaries.
+    ber_floor:
+        Reported BERs are floored here in log-domain views so closed
+        tails never read as exactly zero.
+    """
+
+    modulation: Modulation = Nrz()
+    n_phases: int = 64
+    n_voltages: int = 513
+    n_precursors: int = 4
+    n_postcursors: int = 16
+    noise_rms: float = 0.0
+    rj_rms_ui: float = 0.0
+    dj_pp_ui: float = 0.0
+    v_half_span: Optional[float] = None
+    target_ber: float = 1e-12
+    ber_floor: float = 1e-18
+
+    def __post_init__(self) -> None:
+        if self.n_phases < 4:
+            raise ValueError(
+                f"phase resolution must be positive: need n_phases >= 4 "
+                f"to resolve an eye, got {self.n_phases}"
+            )
+        if self.n_voltages < 16:
+            raise ValueError(
+                f"voltage resolution must be positive: need n_voltages "
+                f">= 16 to resolve the levels, got {self.n_voltages}"
+            )
+        if self.n_precursors < 0 or self.n_postcursors < 0:
+            raise ValueError(
+                f"cursor span must be >= 1 UI: n_precursors and "
+                f"n_postcursors must be >= 0, got n_precursors="
+                f"{self.n_precursors}, n_postcursors={self.n_postcursors}"
+            )
+        for name in ("noise_rms", "rj_rms_ui", "dj_pp_ui"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.dj_pp_ui >= 1.0:
+            raise ValueError(
+                f"dj_pp_ui must be < 1 UI (a full-UI deterministic "
+                f"offset closes the eye by construction), got "
+                f"{self.dj_pp_ui}"
+            )
+        if self.v_half_span is not None and self.v_half_span <= 0:
+            raise ValueError(
+                f"v_half_span must be positive, got {self.v_half_span}"
+            )
+        if not 0.0 < self.target_ber < 0.5:
+            raise ValueError(
+                f"target_ber must be in (0, 0.5), got {self.target_ber}"
+            )
+        if not 0.0 < self.ber_floor < 0.5:
+            raise ValueError(
+                f"ber_floor must be in (0, 0.5), got {self.ber_floor}"
+            )
+
+    # -- public API --------------------------------------------------------
+    def analyze(self, pulse: PulseResponse) -> StatEyeResult:
+        """Full statistical eye of one pulse response."""
+        if not isinstance(pulse, PulseResponse):
+            raise TypeError(
+                f"analyze() takes a PulseResponse, got "
+                f"{type(pulse).__name__}; use analyze_batch() for batches"
+            )
+        return self.analyze_batch([pulse]).row(0)
+
+    def analyze_batch(self, pulses: Sequence[PulseResponse], *,
+                      chunk_scenarios: Optional[int] = None,
+                      keep_surfaces: bool = True) -> StatEyeBatchResult:
+        """Statistical eyes of N pulse responses in one vectorized pass.
+
+        The voltage grid is sized once across all scenarios (pin
+        ``v_half_span`` for grids independent of the batch contents).
+        ``chunk_scenarios`` bounds the working set: the big
+        ``(chunk, n_eyes, n_phases, n_voltages)`` intermediates exist
+        for one chunk at a time, and with ``keep_surfaces=False`` only
+        the ``O(n_scenarios * n_phases)`` summary arrays survive — the
+        flat-memory path for very large batches.
+        """
+        pulses = list(pulses)
+        if not pulses:
+            raise ValueError("need at least one pulse response")
+        if chunk_scenarios is not None and chunk_scenarios < 1:
+            raise ValueError(
+                f"chunk_scenarios must be >= 1, got {chunk_scenarios}"
+            )
+        cursors, phases = self._cursor_tensor(pulses)
+        dv, origin = self._grid_step(cursors)
+        voltages = (np.arange(self.n_voltages) - origin) * dv
+
+        n = len(pulses)
+        n_eyes = self.modulation.n_eyes
+        min_bers = np.empty(n)
+        best_phases = np.empty(n)
+        best_thresholds = np.empty((n, n_eyes))
+        heights = np.empty(n)
+        widths = np.empty(n)
+        bathtubs = np.empty((n, self.n_phases))
+        kept: List[np.ndarray] = []
+        step = n if chunk_scenarios is None else chunk_scenarios
+        for start in range(0, n, step):
+            surfaces = self._surfaces(cursors[start:start + step], dv, origin)
+            if keep_surfaces:
+                kept.append(surfaces)
+            for i in range(surfaces.shape[0]):
+                row = StatEyeResult(
+                    modulation=self.modulation, phases_ui=phases,
+                    voltages=voltages, surfaces=surfaces[i],
+                    noise_rms=self.noise_rms, rj_rms_ui=self.rj_rms_ui,
+                    dj_pp_ui=self.dj_pp_ui, target_ber=self.target_ber,
+                    ber_floor=self.ber_floor)
+                j = start + i
+                min_bers[j] = row.ber
+                best_phases[j] = row.best_phase_ui
+                best_thresholds[j] = row.best_thresholds
+                heights[j] = row.eye_height_at()
+                widths[j] = row.eye_width_ui_at()
+                bathtubs[j] = row.bathtub().ber
+        return StatEyeBatchResult(
+            modulation=self.modulation, phases_ui=phases,
+            voltages=voltages, min_bers=min_bers,
+            best_phases_ui=best_phases, best_thresholds=best_thresholds,
+            eye_heights=heights, eye_widths_ui=widths, bathtubs=bathtubs,
+            surfaces=np.concatenate(kept, axis=0) if keep_surfaces else None,
+            noise_rms=self.noise_rms, rj_rms_ui=self.rj_rms_ui,
+            dj_pp_ui=self.dj_pp_ui, target_ber=self.target_ber,
+            ber_floor=self.ber_floor,
+        )
+
+    def isi_distribution(self, pulse: PulseResponse
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Diagnostic: the pure ISI voltage PDF per phase.
+
+        Returns ``(voltages, pdf)`` with ``pdf`` of shape
+        ``(n_phases, n_voltages)`` — the exact discrete distribution of
+        the ISI sum (all cursors except the main one), before noise,
+        jitter and the main-cursor conditional shift.  Each row sums to
+        1 up to FFT round-off.
+        """
+        cursors, _ = self._cursor_tensor([pulse])
+        dv, origin = self._grid_step(cursors)
+        voltages = (np.arange(self.n_voltages) - origin) * dv
+        spectrum = self._isi_spectrum(cursors, dv)
+        pdf = np.roll(np.fft.irfft(spectrum, n=self.n_voltages, axis=-1),
+                      origin, axis=-1)[0]
+        return voltages, pdf
+
+    # -- cursor extraction -------------------------------------------------
+    def _cursor_tensor(self, pulses: Sequence[PulseResponse]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Interpolate every pulse at (phase, cursor-offset) instants.
+
+        Returns ``(cursors, phases_ui)`` with ``cursors`` of shape
+        ``(n_scenarios, n_phases, n_cursors)``; column ``n_precursors``
+        is the main cursor and phase 0.5 lands exactly on the pulse
+        peak (the eye centre).
+        """
+        n_phases = self.n_phases
+        offsets = np.arange(-self.n_precursors, self.n_postcursors + 1)
+        phases = np.arange(n_phases) / float(n_phases)
+        cursors = np.empty((len(pulses), n_phases, offsets.size))
+        for i, pulse in enumerate(pulses):
+            if not isinstance(pulse, PulseResponse):
+                raise TypeError(
+                    f"expected PulseResponse rows, got "
+                    f"{type(pulse).__name__}"
+                )
+            data = np.asarray(pulse.wave.data, dtype=float)
+            if data.size < 2:
+                raise ValueError("pulse response waveform is too short")
+            spb = pulse.wave.sample_rate / pulse.bit_rate
+            peak = int(np.argmax(np.abs(data)))
+            positions = peak + (phases[:, None] - 0.5
+                                + offsets[None, :]) * spb
+            cursors[i] = np.interp(
+                positions.ravel(), np.arange(data.size), data,
+                left=0.0, right=0.0).reshape(n_phases, offsets.size)
+        return cursors, phases
+
+    # -- voltage grid ------------------------------------------------------
+    def _grid_step(self, cursors: np.ndarray) -> Tuple[float, int]:
+        """Voltage-grid step and zero-origin index for a cursor tensor.
+
+        The grid must contain the full superposition support plus the
+        10-sigma noise tails, or the circular convolution would wrap
+        tail mass back into the eye.
+        """
+        levels = np.asarray(self.modulation.levels, dtype=float)
+        level_max = float(np.max(np.abs(levels)))
+        reach = level_max * float(np.abs(cursors).sum(axis=-1).max())
+        need = reach + 10.0 * self.noise_rms
+        origin = self.n_voltages // 2
+        side_bins = min(origin, self.n_voltages - 1 - origin)
+        if self.v_half_span is not None:
+            if self.v_half_span < need:
+                raise ValueError(
+                    f"v_half_span={self.v_half_span:g} V is too small: "
+                    f"the ISI support plus 10-sigma noise tails reach "
+                    f"{need:g} V and would wrap around the voltage grid"
+                )
+            half = self.v_half_span
+        else:
+            if need <= 0.0:
+                raise ValueError(
+                    "pulse response is identically zero and noise_rms "
+                    "is 0: the statistical eye is undefined"
+                )
+            half = 1.05 * need
+        return half / side_bins, origin
+
+    # -- the convolution core ----------------------------------------------
+    def _isi_spectrum(self, cursors: np.ndarray, dv: float) -> np.ndarray:
+        """rfft of the exact ISI PDF per (scenario, phase) row.
+
+        Each non-main cursor contributes an ``L``-spike kernel (one
+        spike per modulation level, weight ``1/L``, deposited with
+        sum-preserving linear splitting, value 0 at bin 0 with negative
+        values wrapped); the product of their spectra is the spectrum
+        of the exact discrete convolution.  Zero cursors are identity
+        factors and are skipped, which also makes the product trivially
+        invariant to cursor order and chunking.
+        """
+        n_scen, n_phases, n_cursors = cursors.shape
+        m = self.n_voltages
+        levels = np.asarray(self.modulation.levels, dtype=float)
+        weight = 1.0 / levels.size
+        rows = np.arange(n_scen * n_phases)
+        spectrum = np.ones((rows.size, m // 2 + 1), dtype=complex)
+        for k in range(n_cursors):
+            if k == self.n_precursors:
+                continue
+            amplitude = cursors[:, :, k].ravel()
+            if not np.any(amplitude):
+                continue
+            kernel = np.zeros((rows.size, m))
+            for level in levels:
+                position = level * amplitude / dv
+                low = np.floor(position).astype(np.int64)
+                frac = position - low
+                kernel[rows, low % m] += weight * (1.0 - frac)
+                kernel[rows, (low + 1) % m] += weight * frac
+            spectrum *= np.fft.rfft(kernel, axis=-1)
+        return spectrum.reshape(n_scen, n_phases, m // 2 + 1)
+
+    def _jitter_kernel(self) -> Optional[np.ndarray]:
+        """Dual-Dirac + Gaussian timing kernel on the wrapped phase
+        grid (``None`` when jitter-free)."""
+        if self.rj_rms_ui <= 0.0 and self.dj_pp_ui <= 0.0:
+            return None
+        n = self.n_phases
+        kernel = np.zeros(n)
+        for offset_ui in (-0.5 * self.dj_pp_ui, 0.5 * self.dj_pp_ui):
+            position = offset_ui * n
+            low = int(np.floor(position))
+            frac = position - low
+            kernel[low % n] += 0.5 * (1.0 - frac)
+            kernel[(low + 1) % n] += 0.5 * frac
+        if self.rj_rms_ui > 0.0:
+            offsets = ((np.arange(n) + n // 2) % n) - n // 2
+            gauss = np.exp(-0.5 * (offsets / (self.rj_rms_ui * n)) ** 2)
+            gauss /= gauss.sum()
+            kernel = np.fft.irfft(np.fft.rfft(kernel) * np.fft.rfft(gauss),
+                                  n=n)
+            np.maximum(kernel, 0.0, out=kernel)
+        return kernel / kernel.sum()
+
+    def _surfaces(self, cursors: np.ndarray, dv: float,
+                  origin: int) -> np.ndarray:
+        """BER(t, v) surfaces for one cursor-tensor chunk:
+        ``(n_scenarios, n_eyes, n_phases, n_voltages)``."""
+        m = self.n_voltages
+        levels = np.asarray(self.modulation.levels, dtype=float)
+        n_scen, n_phases, _ = cursors.shape
+        spectrum = self._isi_spectrum(cursors, dv)
+        omega = 2.0 * np.pi * np.fft.rfftfreq(m, d=dv)
+        if self.noise_rms > 0.0:
+            spectrum = spectrum * np.exp(-0.5 * (self.noise_rms * omega) ** 2)
+        main = cursors[:, :, self.n_precursors]
+        surfaces = np.zeros((n_scen, levels.size - 1, n_phases, m))
+        for li, level in enumerate(levels):
+            # Conditioning on the transmitted level shifts the ISI+noise
+            # distribution by level * main_cursor — a phase factor.
+            shifted = spectrum * np.exp(-1j * omega * (level
+                                                      * main)[..., None])
+            pdf = np.roll(np.fft.irfft(shifted, n=m, axis=-1), origin,
+                          axis=-1)
+            # The irfft leaves ~1e-17 of zero-mean noise per bin; it is
+            # deliberately NOT rectified here — clipping would bias
+            # every tail bin positive and the bias would accumulate
+            # into a ~1e-15 BER floor.  Left signed, the noise cancels
+            # in the tail sums (and the final surface clip restores
+            # [0, 0.5]).
+            # Both tails are accumulated over the tail bins only (the
+            # upper tail as a reverse cumsum, never as 1 - CDF): the
+            # round-off then scales with the tail mass itself instead
+            # of the distribution bulk, keeping 1e-15..1e-18 BERs real.
+            if li > 0:
+                # This level bounds eye li-1 from above: its lower tail
+                # P(X <= v) is the probability of slicing below it.
+                surfaces[:, li - 1] += 0.5 * np.cumsum(pdf, axis=-1)
+            if li < levels.size - 1:
+                # ...and bounds eye li from below: its upper tail
+                # P(X > v), exclusive of the threshold bin.
+                upper = np.cumsum(pdf[..., ::-1], axis=-1)[..., ::-1]
+                surfaces[:, li] += 0.5 * (upper - pdf)
+        np.clip(surfaces, 0.0, 0.5, out=surfaces)
+        kernel = self._jitter_kernel()
+        if kernel is not None:
+            # The symbol stream is stationary, so the sampled-voltage
+            # distribution is periodic in phase: jitter folds in as a
+            # circular convolution along the phase axis.
+            shaped = np.fft.rfft(surfaces, axis=2) \
+                * np.fft.rfft(kernel)[None, None, :, None]
+            surfaces = np.fft.irfft(shaped, n=n_phases, axis=2)
+            np.clip(surfaces, 0.0, 0.5, out=surfaces)
+        return surfaces

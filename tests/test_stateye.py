@@ -1,0 +1,430 @@
+"""Statistical eye/BER engine: invariants, cross-validation, wiring.
+
+The engine computes exact ISI distributions by FFT convolution, so the
+tests pin mathematical invariants (PDF normalization, monotonicity
+toward the eye edges, convolution order/chunking invariance, the
+NRZ == middle-PAM4-sub-eye degenerate) and cross-validate the reported
+BER against the independent time-domain path in the regime both can
+reach (BER >= 1e-4), for NRZ and PAM4 over several channels.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    LinkSession,
+    ScenarioGrid,
+    StatEye,
+    StatEyeBatchResult,
+    StatEyeResult,
+    SweepAxis,
+    SweepRunner,
+    stat_eye_measure,
+    stat_eye_stimulus,
+)
+from repro.analysis.ber import bathtub_from_waveform, ber_from_eye
+from repro.analysis.isi import PulseResponse, pulse_response
+from repro.channel.backplane import BackplaneChannel
+from repro.link.session import ChannelConfig, RxConfig, TxConfig
+from repro.reporting import render_bathtub, render_stateye
+from repro.signals.batch import WaveformBatch
+from repro.signals.modulation import Nrz, Pam4, SymbolEncoder
+from repro.signals.noise import add_awgn
+from repro.signals.nrz import bits_to_nrz
+from repro.signals.prbs import prbs7, prbs15
+from repro.signals.waveform import Waveform
+
+BIT_RATE = 10e9
+
+
+def _pulse(length_m=0.3, amplitude=0.4):
+    return pulse_response(BackplaneChannel(length_m), BIT_RATE,
+                          amplitude=amplitude)
+
+
+def _flat_pulse(amplitude, spb=8):
+    """A zero-ISI pulse: one triangular UI-wide peak, zeros elsewhere."""
+    data = np.zeros(6 * spb)
+    peak = 3 * spb
+    data[peak - spb // 2: peak + spb // 2 + 1] = amplitude * (
+        1.0 - np.abs(np.arange(-(spb // 2), spb // 2 + 1)) / spb)
+    return PulseResponse.from_waveform(Waveform(data, BIT_RATE * spb),
+                                       BIT_RATE)
+
+
+# -- invariants ---------------------------------------------------------------
+
+def test_isi_pdf_sums_to_one():
+    engine = StatEye(noise_rms=5e-3)
+    voltages, pdf = engine.isi_distribution(_pulse())
+    assert pdf.shape == (engine.n_phases, engine.n_voltages)
+    assert np.all(pdf > -1e-12)
+    np.testing.assert_allclose(pdf.sum(axis=-1), 1.0, atol=1e-12)
+
+
+def test_isi_pdf_sums_to_one_pam4():
+    engine = StatEye(modulation=Pam4(), noise_rms=5e-3)
+    _, pdf = engine.isi_distribution(_pulse())
+    np.testing.assert_allclose(pdf.sum(axis=-1), 1.0, atol=1e-12)
+
+
+def test_surface_monotone_toward_eye_edges():
+    # Where the eye is open the two conditional distributions are
+    # separated, so moving the threshold away from the optimum can only
+    # raise the BER (at closed phases the overlapping modes make the
+    # surface legitimately humped, so those are excluded).
+    result = StatEye(noise_rms=8e-3).analyze(_pulse())
+    surf = result.ber_surface()
+    checked = 0
+    for p in range(result.n_phases):
+        row = surf[p]
+        best = int(np.argmin(row))
+        if row[best] > 1e-6:
+            continue
+        checked += 1
+        assert np.all(np.diff(row[best:]) >= -1e-12)
+        assert np.all(np.diff(row[:best + 1]) <= 1e-12)
+    assert checked >= result.n_phases // 4
+
+
+def test_isi_spectrum_order_invariance():
+    # The ISI convolution is a commutative product of per-cursor
+    # factors: permuting the non-main cursors must not change it.
+    engine = StatEye(n_precursors=2, n_postcursors=3, n_voltages=128)
+    rng = np.random.default_rng(5)
+    cursors = rng.normal(scale=0.05, size=(2, engine.n_phases, 6))
+    cursors[:, :, 2] = 0.4  # main column
+    dv = 0.01
+    base = engine._isi_spectrum(cursors, dv)
+    order = [4, 0, 5, 3, 1]
+    permuted = cursors.copy()
+    permuted[:, :, [0, 1, 3, 4, 5]] = cursors[:, :, order]
+    np.testing.assert_allclose(engine._isi_spectrum(permuted, dv), base,
+                               atol=1e-12)
+
+
+def test_isi_spectrum_cursor_chunking_invariance():
+    # Splitting the cursor set into two groups and multiplying their
+    # spectra equals convolving everything at once (zero cursors are
+    # identity factors, so zeroing a column removes it from the
+    # product).
+    engine = StatEye(n_precursors=2, n_postcursors=3, n_voltages=128)
+    rng = np.random.default_rng(6)
+    cursors = rng.normal(scale=0.04, size=(1, engine.n_phases, 6))
+    cursors[:, :, 2] = 0.4
+    dv = 0.01
+    pre_only = cursors.copy()
+    pre_only[:, :, 3:] = 0.0
+    post_only = cursors.copy()
+    post_only[:, :, :2] = 0.0
+    np.testing.assert_allclose(
+        engine._isi_spectrum(pre_only, dv) * engine._isi_spectrum(
+            post_only, dv),
+        engine._isi_spectrum(cursors, dv), atol=1e-12)
+
+
+def test_scenario_chunking_invariance():
+    pulses = [_pulse(d) for d in (0.1, 0.3, 0.5)]
+    engine = StatEye(noise_rms=8e-3, rj_rms_ui=0.01, dj_pp_ui=0.04)
+    whole = engine.analyze_batch(pulses)
+    chunked = engine.analyze_batch(pulses, chunk_scenarios=1)
+    np.testing.assert_allclose(chunked.surfaces, whole.surfaces, atol=1e-12)
+    np.testing.assert_allclose(chunked.min_bers, whole.min_bers, atol=1e-15)
+    np.testing.assert_allclose(chunked.bathtubs, whole.bathtubs, atol=1e-12)
+
+
+def test_nrz_equals_middle_pam4_sub_eye_degenerate():
+    # With zero ISI (cursor span 1 UI) an NRZ eye of swing A and the
+    # middle PAM4 sub-eye of swing 3A see identical level separations
+    # (A * c0), so on a pinned shared grid the surfaces must coincide.
+    amplitude = 0.2
+    common = dict(n_precursors=0, n_postcursors=0, noise_rms=10e-3,
+                  v_half_span=0.5)
+    nrz = StatEye(modulation=Nrz(), **common).analyze(
+        _flat_pulse(amplitude))
+    pam4 = StatEye(modulation=Pam4(), **common).analyze(
+        _flat_pulse(3 * amplitude))
+    np.testing.assert_array_equal(nrz.voltages, pam4.voltages)
+    np.testing.assert_allclose(pam4.surfaces[1], nrz.surfaces[0],
+                               atol=1e-12)
+
+
+def test_batch_summaries_match_rows():
+    pulses = [_pulse(d) for d in (0.2, 0.5)]
+    engine = StatEye(noise_rms=8e-3)
+    batch = engine.analyze_batch(pulses)
+    for i, row in enumerate(batch.rows()):
+        assert batch.min_bers[i] == row.ber
+        assert batch.best_phases_ui[i] == row.best_phase_ui
+        assert batch.eye_heights[i] == row.eye_height_at()
+        assert batch.eye_widths_ui[i] == row.eye_width_ui_at()
+        np.testing.assert_array_equal(batch.bathtubs[i], row.bathtub().ber)
+
+
+def test_keep_surfaces_false_drops_surfaces_only():
+    pulses = [_pulse(d) for d in (0.2, 0.5)]
+    engine = StatEye(noise_rms=8e-3)
+    full = engine.analyze_batch(pulses)
+    slim = engine.analyze_batch(pulses, keep_surfaces=False)
+    assert slim.surfaces is None
+    np.testing.assert_array_equal(slim.min_bers, full.min_bers)
+    np.testing.assert_array_equal(slim.bathtubs, full.bathtubs)
+    assert slim.bathtub(0).minimum_ber() == full.bathtub(0).minimum_ber()
+    with pytest.raises(ValueError, match="keep_surfaces"):
+        slim.row(0)
+
+
+def test_batch_concatenate_round_trip():
+    pulses = [_pulse(d) for d in (0.1, 0.3, 0.5)]
+    engine = StatEye(noise_rms=8e-3)
+    whole = engine.analyze_batch(pulses)
+    parts = [engine.analyze_batch([p]) for p in pulses]
+    with pytest.raises(ValueError, match="v_half_span|grid|disagree"):
+        StatEyeBatchResult.concatenate(parts)  # per-call grids differ
+    pinned = StatEye(noise_rms=8e-3, v_half_span=0.6)
+    parts = [pinned.analyze_batch([p]) for p in pulses]
+    merged = StatEyeBatchResult.concatenate(parts)
+    assert merged.n_scenarios == 3
+    np.testing.assert_allclose(
+        merged.min_bers, pinned.analyze_batch(pulses).min_bers, atol=1e-15)
+
+
+# -- contours, bathtubs, optimum ----------------------------------------------
+
+def test_contour_and_heights():
+    result = StatEye(noise_rms=8e-3).analyze(_pulse(0.3))
+    lower, upper = result.contour(1e-9)
+    open_mask = np.isfinite(lower)
+    assert open_mask.any()
+    assert np.all(upper[open_mask] >= lower[open_mask])
+    # Tighter targets can only shrink the eye.
+    assert result.eye_height_at(1e-12) <= result.eye_height_at(1e-6)
+    assert result.eye_width_ui_at(1e-12) <= result.eye_width_ui_at(1e-6)
+    assert 0.0 < result.eye_height_at(1e-12)
+    with pytest.raises(ValueError):
+        result.contour(0.7)
+    with pytest.raises(ValueError):
+        result.ber_surface(eye=3)
+
+
+def test_deep_tail_reachable():
+    # The whole point: contours at 1e-15, far beyond pattern counting.
+    result = StatEye(noise_rms=4e-3).analyze(_pulse(0.1))
+    assert result.eye_height_at(1e-15) > 0.0
+    assert result.eye_width_ui_at(1e-15) > 0.0
+    tub = result.bathtub()
+    assert np.all(np.isfinite(tub.ber))
+    assert tub.minimum_ber() >= result.ber_floor
+
+
+def test_jitter_widens_bathtub():
+    pulse = _pulse(0.3)
+    clean = StatEye(noise_rms=8e-3).analyze(pulse)
+    jittery = StatEye(noise_rms=8e-3, rj_rms_ui=0.02,
+                      dj_pp_ui=0.1).analyze(pulse)
+    assert jittery.eye_width_ui_at(1e-9) < clean.eye_width_ui_at(1e-9)
+    assert jittery.ber >= clean.ber
+
+
+def test_pam4_has_three_sub_eyes_and_worst_is_reported():
+    result = StatEye(modulation=Pam4(), noise_rms=6e-3).analyze(_pulse(0.2))
+    assert result.n_eyes == 3
+    worst = result.worst_eye_index()
+    assert result.min_ber(worst) == max(result.min_ber(e) for e in range(3))
+    # Combined BER uses all sub-eyes and can only exceed the per-eye
+    # floor contribution of the worst one.
+    assert result.ber > 0.0
+
+
+# -- cross-validation against the time-domain path ----------------------------
+
+@pytest.mark.parametrize("length_m,amplitude,noise_rms", [
+    (0.1, 0.4, 0.05),
+    (0.3, 0.4, 0.035),
+    (0.5, 0.4, 0.028),
+])
+def test_cross_validation_nrz(length_m, amplitude, noise_rms):
+    channel = BackplaneChannel(length_m)
+    stat = StatEye(noise_rms=noise_rms).analyze(
+        pulse_response(channel, BIT_RATE, amplitude=amplitude)).ber
+    wave = channel.process(bits_to_nrz(prbs15(4000, seed=2), BIT_RATE,
+                                       amplitude=amplitude,
+                                       samples_per_bit=32))
+    td = ber_from_eye(add_awgn(wave, noise_rms, seed=7), BIT_RATE)
+    assert stat >= 1e-4 and td >= 1e-4
+    assert abs(np.log10(stat) - np.log10(td)) <= 0.5
+
+
+@pytest.mark.parametrize("length_m,amplitude,noise_rms", [
+    (0.05, 0.4, 0.02),
+    (0.1, 0.4, 0.018),
+    (0.2, 0.5, 0.02),
+])
+def test_cross_validation_pam4(length_m, amplitude, noise_rms):
+    channel = BackplaneChannel(length_m)
+    stat = StatEye(modulation=Pam4(), noise_rms=noise_rms).analyze(
+        pulse_response(channel, BIT_RATE, amplitude=amplitude)).ber
+    encoder = SymbolEncoder(symbol_rate=BIT_RATE, modulation=Pam4(),
+                            amplitude=amplitude, samples_per_symbol=32)
+    wave = channel.process(encoder.encode_bits(prbs15(8000, seed=3)))
+    td = ber_from_eye(add_awgn(wave, noise_rms, seed=11), BIT_RATE,
+                      modulation=Pam4())
+    assert stat >= 1e-4 and td >= 1e-4
+    assert abs(np.log10(stat) - np.log10(td)) <= 0.5
+
+
+# -- session facade -----------------------------------------------------------
+
+def test_session_statistical_eye_matches_direct_path():
+    session = LinkSession.from_configs(TxConfig(), ChannelConfig(0.3),
+                                       RxConfig())
+    via_session = session.statistical_eye(noise_rms=8e-3, amplitude=0.4)
+    engine = StatEye(noise_rms=8e-3)
+    direct = engine.analyze(pulse_response(
+        session, session.bit_rate, samples_per_bit=32,
+        n_lead_bits=max(4, engine.n_precursors + 4),
+        n_lag_bits=max(8, engine.n_postcursors + 4), amplitude=0.4))
+    assert isinstance(via_session, StatEyeResult)
+    np.testing.assert_array_equal(via_session.surfaces, direct.surfaces)
+
+
+def test_session_statistical_eye_engine_overrides():
+    session = LinkSession.from_configs(TxConfig(), ChannelConfig(0.2),
+                                       RxConfig())
+    base = StatEye(noise_rms=5e-3, n_phases=32)
+    result = session.statistical_eye(base, amplitude=0.4, noise_rms=20e-3)
+    assert result.noise_rms == 20e-3
+    assert result.n_phases == 32
+
+
+# -- sweep measure pair -------------------------------------------------------
+
+def test_stat_eye_measure_serial_batch_parity():
+    engine = StatEye(noise_rms=8e-3, v_half_span=0.6)
+    measure, measure_batch = stat_eye_measure(engine, BIT_RATE)
+    stimulus = stat_eye_stimulus(BIT_RATE)
+    channel = BackplaneChannel(0.3)
+    waves = [channel.process(stimulus({"amplitude": a}))
+             for a in (0.2, 0.4, 0.6)]
+    serial = [measure(w, {}) for w in waves]
+    batched = measure_batch(WaveformBatch.stack(waves), [{}] * 3)
+    for s, b in zip(serial, batched):
+        np.testing.assert_array_equal(s.voltages, b.voltages)
+        np.testing.assert_allclose(s.surfaces, b.surfaces, atol=1e-12)
+
+
+def test_stat_eye_measure_in_sweep_runner():
+    engine = StatEye(noise_rms=8e-3, v_half_span=0.6, n_phases=16,
+                     n_voltages=65)
+    measure, measure_batch = stat_eye_measure(
+        engine, BIT_RATE, reduce=lambda r, p: r.ber)
+    grid = ScenarioGrid([SweepAxis("amplitude", [0.2, 0.4, 0.6])])
+    channel = BackplaneChannel(0.3)
+    result = SweepRunner(
+        grid, stimulus=stat_eye_stimulus(BIT_RATE),
+        build=lambda p: channel,
+        measure=measure, measure_batch=measure_batch,
+    ).run()
+    bers = [result.results[i] for i in range(3)]
+    # More swing, more margin: BER improves monotonically.
+    assert bers[0] > bers[1] > bers[2]
+
+
+# -- validation / exports -----------------------------------------------------
+
+def test_engine_rejects_invalid_grids():
+    with pytest.raises(ValueError, match="phase resolution"):
+        StatEye(n_phases=2)
+    with pytest.raises(ValueError, match="voltage resolution"):
+        StatEye(n_voltages=8)
+    with pytest.raises(ValueError, match="cursor span"):
+        StatEye(n_precursors=-1)
+    with pytest.raises(ValueError, match="cursor span"):
+        StatEye(n_postcursors=-1)
+    with pytest.raises(ValueError, match="noise_rms"):
+        StatEye(noise_rms=-1e-3)
+    with pytest.raises(ValueError, match="dj_pp_ui"):
+        StatEye(dj_pp_ui=1.0)
+    with pytest.raises(ValueError, match="v_half_span"):
+        StatEye(v_half_span=0.0)
+    with pytest.raises(ValueError, match="target_ber"):
+        StatEye(target_ber=0.0)
+
+
+def test_engine_rejects_bad_inputs():
+    engine = StatEye(noise_rms=5e-3)
+    with pytest.raises(TypeError, match="PulseResponse"):
+        engine.analyze(Waveform(np.zeros(64), 320e9))
+    with pytest.raises(ValueError, match="at least one"):
+        engine.analyze_batch([])
+    with pytest.raises(ValueError, match="chunk_scenarios"):
+        engine.analyze_batch([_pulse()], chunk_scenarios=0)
+    with pytest.raises(ValueError, match="too small"):
+        StatEye(v_half_span=1e-4).analyze(_pulse())
+    with pytest.raises(ValueError, match="identically zero"):
+        StatEye().analyze(PulseResponse.from_waveform(
+            Waveform(np.zeros(64), BIT_RATE * 8), BIT_RATE))
+
+
+def test_top_level_exports():
+    for name in ("StatEye", "StatEyeResult", "StatEyeBatchResult",
+                 "stat_eye_measure", "stat_eye_stimulus"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+    assert repro.StatEye is StatEye
+
+
+def test_renderers():
+    result = StatEye(noise_rms=8e-3).analyze(_pulse(0.3))
+    art = render_stateye(result, title="stat eye")
+    assert "stat eye" in art and "BER" in art
+    assert len(art.splitlines()) == 23
+    tub = render_bathtub(result.bathtub(), target_ber=1e-12)
+    assert "1e" in tub
+    with pytest.raises(ValueError):
+        render_stateye(result, width=4)
+    with pytest.raises(ValueError):
+        render_bathtub(result.bathtub(), target_ber=0.9)
+
+
+# -- satellite regressions ----------------------------------------------------
+
+def test_pulse_response_from_waveform_matches_measured():
+    channel = BackplaneChannel(0.3)
+    measured = pulse_response(channel, BIT_RATE, amplitude=0.4)
+    rebuilt = PulseResponse.from_waveform(measured.wave, BIT_RATE)
+    np.testing.assert_array_equal(rebuilt.cursors, measured.cursors)
+    assert rebuilt.cursor_index == measured.cursor_index
+    with pytest.raises(ValueError, match="integer multiple"):
+        PulseResponse.from_waveform(Waveform(np.ones(64), 1.5 * BIT_RATE),
+                                    BIT_RATE)
+
+
+def test_modulation_aware_isi_bounds():
+    pulse = _pulse(0.5)
+    # Two-level default is the historical formula, bit for bit.
+    others = np.concatenate([pulse.precursors(), pulse.postcursors()])
+    assert pulse.isi_sum() == float(np.sum(np.abs(others)))
+    assert pulse.worst_case_opening() == pulse.main_cursor - pulse.isi_sum()
+    # NRZ levels span 1.0, so the modulation-aware forms agree with it.
+    assert pulse.isi_sum(Nrz()) == pytest.approx(pulse.isi_sum())
+    assert pulse.worst_case_opening(Nrz()) == pytest.approx(
+        pulse.worst_case_opening())
+    # A PAM4 inner eye starts with a third of the separation but eats
+    # the same ISI: its bound must be strictly tighter.
+    assert pulse.worst_case_opening(Pam4()) < pulse.worst_case_opening()
+    assert pulse.worst_case_opening(Pam4()) == pytest.approx(
+        pulse.main_cursor / 3.0 - pulse.isi_sum(Pam4()))
+
+
+def test_bathtub_near_closed_eye_stays_finite():
+    # Heavy noise leaves few clean crossings per side; the dual-Dirac
+    # fit must fall back to pooled statistics, never emit NaN/inf.
+    wave = bits_to_nrz(prbs7(400, seed=1), BIT_RATE, amplitude=0.4,
+                       samples_per_bit=32)
+    noisy = add_awgn(wave, 0.12, seed=9)
+    tub = bathtub_from_waveform(noisy, BIT_RATE)
+    assert np.all(np.isfinite(tub.ber))
+    assert np.all(tub.ber <= 0.5)
+    assert tub.minimum_ber() > 1e-12  # nearly closed, not pristine
